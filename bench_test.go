@@ -1,0 +1,270 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark group per
+// table/figure (see EXPERIMENTS.md for the index):
+//
+//	BenchmarkTable1_*      — E1: per-engine solve effort on suite slices
+//	BenchmarkGrowth_*      — E2: encoding size/time vs bound
+//	BenchmarkMemory_*      — E3: peak solver bytes vs bound
+//	BenchmarkSquaring_*    — E4: deepening iteration counts
+//	BenchmarkAblation_*    — E5: design-choice ablations
+//	BenchmarkQBFWall_*     — E6: general QBF vs SAT on formula (2)
+//
+// Run with: go test -bench=. -benchmem
+package sebmc_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/circuits"
+	"repro/internal/cnf"
+	"repro/internal/jsat"
+	"repro/internal/model"
+	"repro/internal/qbf"
+	"repro/internal/sat"
+	"repro/internal/tseitin"
+)
+
+// benchConfig bounds each solve tightly so benchmark iterations stay fast.
+func benchConfig() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.TimeLimit = 300 * time.Millisecond
+	return cfg
+}
+
+// table1Slice is a representative 2-bounds-per-family slice of the suite.
+func table1Slice() []bench.Instance {
+	var out []bench.Instance
+	for _, fam := range bench.Families() {
+		sys := fam.Build()
+		out = append(out,
+			bench.Instance{Family: fam.Name, Sys: sys, K: 5},
+			bench.Instance{Family: fam.Name, Sys: sys, K: 12},
+		)
+	}
+	return out
+}
+
+func benchTable1(b *testing.B, engine bench.EngineKind) {
+	insts := table1Slice()
+	cfg := benchConfig()
+	b.ResetTimer()
+	solved := 0
+	for i := 0; i < b.N; i++ {
+		solved = 0
+		for _, inst := range insts {
+			if bench.Run(inst, engine, cfg).Solved() {
+				solved++
+			}
+		}
+	}
+	b.ReportMetric(float64(solved), "solved/26")
+}
+
+func BenchmarkTable1_SATUnroll(b *testing.B) { benchTable1(b, bench.EngineSAT) }
+func BenchmarkTable1_JSAT(b *testing.B)      { benchTable1(b, bench.EngineJSAT) }
+func BenchmarkTable1_QBFLinear(b *testing.B) { benchTable1(b, bench.EngineQBFLinear) }
+
+func benchGrowth(b *testing.B, k int, encode func(*model.System, int) int) {
+	sys := circuits.Counter(16, 60000)
+	b.ResetTimer()
+	clauses := 0
+	for i := 0; i < b.N; i++ {
+		clauses = encode(sys, k)
+	}
+	b.ReportMetric(float64(clauses), "clauses")
+}
+
+func BenchmarkGrowth_Unroll_k16(b *testing.B) {
+	benchGrowth(b, 16, func(s *model.System, k int) int {
+		return bmc.EncodeUnroll(s, k, tseitin.Full).F.NumClauses()
+	})
+}
+
+func BenchmarkGrowth_Unroll_k256(b *testing.B) {
+	benchGrowth(b, 256, func(s *model.System, k int) int {
+		return bmc.EncodeUnroll(s, k, tseitin.Full).F.NumClauses()
+	})
+}
+
+func BenchmarkGrowth_Linear_k16(b *testing.B) {
+	benchGrowth(b, 16, func(s *model.System, k int) int {
+		return bmc.EncodeLinear(s, k, tseitin.Full).P.Matrix.NumClauses()
+	})
+}
+
+func BenchmarkGrowth_Linear_k256(b *testing.B) {
+	benchGrowth(b, 256, func(s *model.System, k int) int {
+		return bmc.EncodeLinear(s, k, tseitin.Full).P.Matrix.NumClauses()
+	})
+}
+
+func BenchmarkGrowth_Squaring_k16(b *testing.B) {
+	benchGrowth(b, 16, func(s *model.System, k int) int {
+		enc, err := bmc.EncodeSquaring(s, k, tseitin.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return enc.P.Matrix.NumClauses()
+	})
+}
+
+func BenchmarkGrowth_Squaring_k256(b *testing.B) {
+	benchGrowth(b, 256, func(s *model.System, k int) int {
+		enc, err := bmc.EncodeSquaring(s, k, tseitin.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return enc.P.Matrix.NumClauses()
+	})
+}
+
+func benchMemory(b *testing.B, k int, engine bench.EngineKind) {
+	sys := circuits.Counter(7, 100)
+	cfg := benchConfig()
+	cfg.TimeLimit = 2 * time.Second
+	inst := bench.Instance{Family: sys.Name, Sys: sys, K: k}
+	b.ResetTimer()
+	peak := 0
+	for i := 0; i < b.N; i++ {
+		r := bench.Run(inst, engine, cfg)
+		peak = r.PeakBytes
+	}
+	b.ReportMetric(float64(peak), "peak-bytes")
+}
+
+func BenchmarkMemory_SAT_k20(b *testing.B)   { benchMemory(b, 20, bench.EngineSAT) }
+func BenchmarkMemory_SAT_k100(b *testing.B)  { benchMemory(b, 100, bench.EngineSAT) }
+func BenchmarkMemory_JSAT_k20(b *testing.B)  { benchMemory(b, 20, bench.EngineJSAT) }
+func BenchmarkMemory_JSAT_k100(b *testing.B) { benchMemory(b, 100, bench.EngineJSAT) }
+
+func benchSquaring(b *testing.B, depth int, squaring bool) {
+	bits := 1
+	for (uint64(1) << uint(bits)) <= uint64(depth) {
+		bits++
+	}
+	sys := circuits.Counter(bits+1, uint64(depth))
+	check := func(m *model.System, k int) bmc.Result {
+		return bmc.SolveUnroll(m, k, bmc.UnrollOptions{Semantics: bmc.AtMost})
+	}
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		if squaring {
+			iters = bmc.DeepenSquaring(sys, 2*depth, check).Iterations
+		} else {
+			iters = bmc.DeepenLinear(sys, 2*depth, check).Iterations
+		}
+	}
+	b.ReportMetric(float64(iters), "iterations")
+}
+
+func BenchmarkSquaring_LinearSchedule_d40(b *testing.B)   { benchSquaring(b, 40, false) }
+func BenchmarkSquaring_SquaringSchedule_d40(b *testing.B) { benchSquaring(b, 40, true) }
+
+func benchAblationJSAT(b *testing.B, opts jsat.Options) {
+	sys := circuits.FIFO(3)
+	opts.SAT = sat.Options{ConflictBudget: 50_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := jsat.New(sys, opts)
+		for _, k := range []int{4, 6, 8} {
+			s.Check(k)
+		}
+	}
+}
+
+func BenchmarkAblation_JSATCacheOn(b *testing.B) { benchAblationJSAT(b, jsat.Options{}) }
+func BenchmarkAblation_JSATCacheOff(b *testing.B) {
+	benchAblationJSAT(b, jsat.Options{DisableCache: true})
+}
+
+func benchAblationSAT(b *testing.B, mode tseitin.Mode, opts sat.Options) {
+	sys := circuits.Counter(10, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{10, 20} {
+			bmc.SolveUnroll(sys, k, bmc.UnrollOptions{Mode: mode, SAT: opts})
+		}
+	}
+}
+
+func BenchmarkAblation_Tseitin(b *testing.B) { benchAblationSAT(b, tseitin.Full, sat.Options{}) }
+func BenchmarkAblation_PlaistedGreenbaum(b *testing.B) {
+	benchAblationSAT(b, tseitin.PlaistedGreenbaum, sat.Options{})
+}
+func BenchmarkAblation_NoVSIDS(b *testing.B) {
+	benchAblationSAT(b, tseitin.Full, sat.Options{DisableVSIDS: true})
+}
+func BenchmarkAblation_NoMinimize(b *testing.B) {
+	benchAblationSAT(b, tseitin.Full, sat.Options{DisableMinimization: true})
+}
+
+func benchQBFWall(b *testing.B, k int, viaQBF bool) {
+	sys := circuits.Counter(2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if viaQBF {
+			bmc.SolveLinear(sys, k, bmc.LinearOptions{QBF: qbf.Options{NodeBudget: 5_000_000}})
+		} else {
+			bmc.SolveUnroll(sys, k, bmc.UnrollOptions{})
+		}
+	}
+}
+
+func BenchmarkQBFWall_SAT_k4(b *testing.B) { benchQBFWall(b, 4, false) }
+func BenchmarkQBFWall_SAT_k7(b *testing.B) { benchQBFWall(b, 7, false) }
+func BenchmarkQBFWall_QBF_k4(b *testing.B) { benchQBFWall(b, 4, true) }
+func BenchmarkQBFWall_QBF_k7(b *testing.B) { benchQBFWall(b, 7, true) }
+
+// Substrate micro-benchmarks: the hot paths under everything above.
+
+func BenchmarkSAT_Pigeonhole7(b *testing.B) {
+	const n = 7
+	for i := 0; i < b.N; i++ {
+		s := sat.New(sat.Options{})
+		p := make([][]cnf.Var, n+2)
+		for x := 1; x <= n+1; x++ {
+			p[x] = make([]cnf.Var, n+1)
+			for y := 1; y <= n; y++ {
+				p[x][y] = s.NewVar()
+			}
+		}
+		for x := 1; x <= n+1; x++ {
+			lits := make([]cnf.Lit, 0, n)
+			for y := 1; y <= n; y++ {
+				lits = append(lits, cnf.PosLit(p[x][y]))
+			}
+			s.AddClause(lits...)
+		}
+		for y := 1; y <= n; y++ {
+			for x1 := 1; x1 <= n+1; x1++ {
+				for x2 := x1 + 1; x2 <= n+1; x2++ {
+					s.AddClause(cnf.NegLit(p[x1][y]), cnf.NegLit(p[x2][y]))
+				}
+			}
+		}
+		if s.Solve() != sat.Unsat {
+			b.Fatal("PHP must be unsat")
+		}
+	}
+}
+
+func BenchmarkJSAT_DeepCounter(b *testing.B) {
+	sys := circuits.Counter(8, 120)
+	for i := 0; i < b.N; i++ {
+		s := jsat.New(sys, jsat.Options{})
+		if s.Check(120).Status != bmc.Reachable {
+			b.Fatal("deep counter must be reachable")
+		}
+	}
+}
+
+func BenchmarkUnroll_Encode_k64(b *testing.B) {
+	sys := circuits.Counter(16, 60000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bmc.EncodeUnroll(sys, 64, tseitin.Full)
+	}
+}

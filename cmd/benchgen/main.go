@@ -1,0 +1,101 @@
+// Command benchgen materializes the 234-instance evaluation suite as
+// files: one ASCII AIGER circuit per family, plus the encoded instances
+// — DIMACS CNF for formula (1) and QDIMACS for formula (2) at every
+// bound (and formula (3) at power-of-two bounds).
+//
+// Usage:
+//
+//	benchgen -out ./suite [-families counter,fifo] [-no-encodings]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/tseitin"
+)
+
+func main() {
+	var (
+		outDir      = flag.String("out", "suite", "output directory")
+		familiesArg = flag.String("families", "", "comma-separated family filter (default: all)")
+		noEnc       = flag.Bool("no-encodings", false, "emit circuits only, skip CNF/QDIMACS instances")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*familiesArg, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			want[f] = true
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	nFiles := 0
+	for _, fam := range bench.Families() {
+		if len(want) > 0 && !want[fam.Name] {
+			continue
+		}
+		sys := fam.Build()
+		aagPath := filepath.Join(*outDir, fam.Name+".aag")
+		if err := writeTo(aagPath, func(f *os.File) error { return sys.Circ.WriteAAG(f) }); err != nil {
+			fatal(err)
+		}
+		nFiles++
+		if *noEnc {
+			continue
+		}
+		for _, k := range bench.Bounds {
+			cnfPath := filepath.Join(*outDir, fmt.Sprintf("%s-k%02d.cnf", fam.Name, k))
+			enc := bmc.EncodeUnroll(sys, k, tseitin.Full)
+			if err := writeTo(cnfPath, func(f *os.File) error { return enc.F.WriteDIMACS(f) }); err != nil {
+				fatal(err)
+			}
+			nFiles++
+
+			qdPath := filepath.Join(*outDir, fmt.Sprintf("%s-k%02d.qdimacs", fam.Name, k))
+			lenc := bmc.EncodeLinear(sys, k, tseitin.Full)
+			if err := writeTo(qdPath, func(f *os.File) error { return lenc.P.WriteQDIMACS(f) }); err != nil {
+				fatal(err)
+			}
+			nFiles++
+
+			if k&(k-1) == 0 {
+				sqPath := filepath.Join(*outDir, fmt.Sprintf("%s-k%02d-sq.qdimacs", fam.Name, k))
+				senc, err := bmc.EncodeSquaring(sys, k, tseitin.Full)
+				if err != nil {
+					fatal(err)
+				}
+				if err := writeTo(sqPath, func(f *os.File) error { return senc.P.WriteQDIMACS(f) }); err != nil {
+					fatal(err)
+				}
+				nFiles++
+			}
+		}
+	}
+	fmt.Printf("benchgen: wrote %d files to %s\n", nFiles, *outDir)
+}
+
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

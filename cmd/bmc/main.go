@@ -1,0 +1,119 @@
+// Command bmc runs one bounded reachability check on a model file.
+//
+// Usage:
+//
+//	bmc -model design.msl -k 12 [-engine sat|jsat|qbf-linear|qbf-squaring]
+//	    [-sem exact|atmost] [-timeout 30s] [-witness] [-pg]
+//
+// Models are loaded from .msl (Model Specification Language) or .aag
+// (ASCII AIGER, output 0 = bad) files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	sebmc "repro"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model file (.msl or .aag)")
+		k         = flag.Int("k", 0, "bound (number of transitions)")
+		engineStr = flag.String("engine", "sat", "engine: sat, jsat, qbf-linear, qbf-squaring")
+		semStr    = flag.String("sem", "exact", "semantics: exact or atmost")
+		timeout   = flag.Duration("timeout", 0, "per-check timeout (0 = none)")
+		witness   = flag.Bool("witness", false, "print the counterexample trace when found")
+		pg        = flag.Bool("pg", false, "use the Plaisted-Greenbaum CNF transformation")
+		deepen    = flag.Bool("deepen", false, "iterate bounds 0..k and report the first counterexample")
+		prove     = flag.Bool("prove", false, "attempt a full safety proof by k-induction up to depth k")
+	)
+	flag.Parse()
+
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "bmc: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sys, err := loadModel(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := sebmc.ParseEngine(*engineStr)
+	if err != nil {
+		fatal(err)
+	}
+	opts := sebmc.Options{Timeout: *timeout, PlaistedGreenbaum: *pg}
+	switch *semStr {
+	case "exact":
+		opts.Semantics = sebmc.Exact
+	case "atmost":
+		opts.Semantics = sebmc.AtMost
+	default:
+		fatal(fmt.Errorf("bmc: unknown semantics %q", *semStr))
+	}
+
+	start := time.Now()
+	if *prove {
+		pr := sebmc.Prove(sys, *k, opts)
+		fmt.Printf("model %s: %v (k=%d) in %v\n", sys.Name, pr.Status, pr.K, time.Since(start).Round(time.Millisecond))
+		if pr.Status == sebmc.Falsified && *witness && pr.Witness != nil {
+			fmt.Print(pr.Witness)
+		}
+		if pr.Status == sebmc.ProofUnknown {
+			os.Exit(1)
+		}
+		return
+	}
+	if *deepen {
+		d := sebmc.Deepen(sys, *k, engine, opts)
+		fmt.Printf("model %s: %v", sys.Name, d.Status)
+		if d.FoundAt >= 0 {
+			fmt.Printf(" at bound %d", d.FoundAt)
+		}
+		fmt.Printf(" after %d iterations in %v\n", d.Iterations, time.Since(start).Round(time.Millisecond))
+		if d.Status == sebmc.Unknown {
+			os.Exit(1)
+		}
+		return
+	}
+
+	r := sebmc.Check(sys, *k, engine, opts)
+	fmt.Printf("model %s, bound %d (%s, %s): %v in %v\n",
+		sys.Name, *k, engine, *semStr, r.Status, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("formula: %d vars, %d clauses", r.Formula.Vars, r.Formula.Clauses)
+	if r.Formula.Universals > 0 {
+		fmt.Printf(", %d universals, %d alternations", r.Formula.Universals, r.Formula.Alternations)
+	}
+	fmt.Println()
+	if r.Status == sebmc.Reachable && r.Witness != nil {
+		if err := r.Witness.Validate(r.System); err != nil {
+			fatal(fmt.Errorf("bmc: internal error: invalid witness: %v", err))
+		}
+		fmt.Println("witness validated")
+		if *witness {
+			fmt.Print(r.Witness)
+		}
+	}
+	if r.Status == sebmc.Unknown {
+		os.Exit(1)
+	}
+}
+
+func loadModel(path string) (*sebmc.System, error) {
+	switch {
+	case strings.HasSuffix(path, ".msl"):
+		return sebmc.LoadMSLFile(path)
+	case strings.HasSuffix(path, ".aag"):
+		return sebmc.LoadAIGERFile(path, 0)
+	}
+	return nil, fmt.Errorf("bmc: unsupported model format %q (want .msl or .aag)", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

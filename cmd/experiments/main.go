@@ -1,0 +1,113 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (see EXPERIMENTS.md for the experiment index and
+// DESIGN.md for the substitutions).
+//
+// Usage:
+//
+//	experiments -e table1            # E1: solved-instance comparison
+//	experiments -e growth            # E2: formula size vs bound
+//	experiments -e memory            # E3: peak solver memory vs bound
+//	experiments -e squaring          # E4: deepening iteration counts
+//	experiments -e ablation          # E5: design-choice ablations
+//	experiments -e qbfwall           # E6: general QBF vs SAT on tiny model
+//	experiments -e all               # everything
+//	    [-timelimit 1s] [-csv results.csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+)
+
+func main() {
+	var (
+		exp       = flag.String("e", "all", "experiment: table1, growth, memory, squaring, ablation, qbfwall, bdd, all")
+		timeLimit = flag.Duration("timelimit", time.Second, "per-instance time budget")
+		csvPath   = flag.String("csv", "", "write per-instance table1 results as CSV")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.TimeLimit = *timeLimit
+
+	run := func(name string, fn func()) {
+		if *exp == name || *exp == "all" {
+			fn()
+			fmt.Println()
+		}
+	}
+
+	run("table1", func() {
+		t := bench.RunTable1(cfg)
+		t.Write(os.Stdout)
+		if *csvPath != "" {
+			if err := writeCSV(*csvPath, t); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("per-instance results written to %s\n", *csvPath)
+		}
+	})
+	run("growth", func() {
+		sys := circuits.Counter(16, 60000)
+		rows := bench.RunGrowth(sys, []int{1, 2, 4, 8, 16, 32, 64, 128, 256}, cfg.Mode)
+		bench.WriteGrowth(os.Stdout, sys.Name, rows)
+	})
+	run("memory", func() {
+		sys := circuits.Counter(7, 100)
+		rows := bench.RunMemory(sys, []int{10, 20, 40, 60, 80, 100}, cfg)
+		bench.WriteMemory(os.Stdout, sys.Name, rows)
+	})
+	run("squaring", func() {
+		rows := bench.RunSquaring([]int{5, 10, 20, 40, 80}, cfg)
+		bench.WriteSquaring(os.Stdout, rows)
+	})
+	run("ablation", func() {
+		rows := bench.RunAblations(cfg)
+		bench.WriteAblations(os.Stdout, rows)
+	})
+	run("bdd", func() {
+		rows := bench.RunBDD(2_000_000)
+		bench.WriteBDD(os.Stdout, rows, 2_000_000)
+	})
+	run("qbfwall", func() {
+		rows := bench.RunQBFWall(8, cfg)
+		bench.WriteQBFWall(os.Stdout, rows)
+	})
+}
+
+func writeCSV(path string, t *bench.Table1) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"family", "k", "engine", "status", "elapsed_ms", "conflicts", "nodes", "vars", "clauses"}); err != nil {
+		return err
+	}
+	for _, r := range t.Results {
+		rec := []string{
+			r.Instance.Family,
+			fmt.Sprint(r.Instance.K),
+			r.Engine.String(),
+			r.Status.String(),
+			fmt.Sprint(r.Elapsed.Milliseconds()),
+			fmt.Sprint(r.Conflicts),
+			fmt.Sprint(r.Nodes),
+			fmt.Sprint(r.Vars),
+			fmt.Sprint(r.Clauses),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

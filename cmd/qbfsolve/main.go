@@ -1,0 +1,74 @@
+// Command qbfsolve is a standalone QDIMACS solver built on the library's
+// search-based QDPLL engine.
+//
+// Usage:
+//
+//	qbfsolve [-timeout 60s] [-nodes N] [file.qdimacs]
+//
+// Reads from stdin when no file is given. Exit status follows the QBF
+// evaluation convention: 10 for TRUE, 20 for FALSE, 0 for unknown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/qbf"
+)
+
+func main() {
+	var (
+		timeout = flag.Duration("timeout", 0, "solve timeout (0 = none)")
+		nodes   = flag.Int64("nodes", 0, "search-node budget (0 = none)")
+		stats   = flag.Bool("stats", false, "print solver statistics")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	p, err := cnf.ParseQDIMACS(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	opts := qbf.Options{NodeBudget: *nodes}
+	if *timeout > 0 {
+		opts.Deadline = time.Now().Add(*timeout)
+	}
+	s := qbf.New(p, opts)
+	start := time.Now()
+	res := s.Solve()
+	if *stats {
+		fmt.Printf("c nodes=%d propagations=%d maxdepth=%d time=%v\n",
+			s.Stats.Nodes, s.Stats.Propagations, s.Stats.MaxDepth,
+			time.Since(start).Round(time.Millisecond))
+	}
+	switch res {
+	case qbf.True:
+		fmt.Println("s cnf 1")
+		os.Exit(10)
+	case qbf.False:
+		fmt.Println("s cnf 0")
+		os.Exit(20)
+	default:
+		fmt.Println("s cnf -1")
+		os.Exit(0)
+	}
+}

@@ -1,0 +1,69 @@
+// Arbiter mutual exclusion: a round-robin arbiter with captured requests
+// is checked for double grants across a range of bounds, then searched
+// with iterative deepening — including the paper's iterative-squaring
+// schedule, whose bound doubles every iteration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sebmc "repro"
+)
+
+// Four-client round-robin arbiter. Requests are captured into pending
+// bits; a one-hot token rotates; grant = token ∧ pending. The mutual
+// exclusion property: no two grants in the same cycle.
+const design = `
+model arbiter4
+input r0; input r1; input r2; input r3;
+
+var p0 : 1 = 0;  var p1 : 1 = 0;  var p2 : 1 = 0;  var p3 : 1 = 0;
+var t0 : 1 = 1;  var t1 : 1 = 0;  var t2 : 1 = 0;  var t3 : 1 = 0;
+
+next p0 = r0;  next p1 = r1;  next p2 = r2;  next p3 = r3;
+next t0 = t3;  next t1 = t0;  next t2 = t1;  next t3 = t2;
+
+bad (t0 & p0 & t1 & p1) | (t0 & p0 & t2 & p2) | (t0 & p0 & t3 & p3)
+  | (t1 & p1 & t2 & p2) | (t1 & p1 & t3 & p3) | (t2 & p2 & t3 & p3);
+`
+
+func main() {
+	sys, err := sebmc.LoadMSL(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d state bits, %d inputs\n\n", sys.Name, sys.NumStateVars(), sys.NumInputs())
+
+	// Bound-by-bound proof with the classical SAT engine.
+	fmt.Println("bounded proofs (sat-unroll, exact-k):")
+	for _, k := range []int{0, 2, 4, 8, 16} {
+		r := sebmc.Check(sys, k, sebmc.EngineSAT, sebmc.Options{})
+		if r.Status != sebmc.Unreachable {
+			log.Fatalf("mutual exclusion violated at k=%d: %v", k, r.Status)
+		}
+		fmt.Printf("  k=%2d: %v (%d clauses)\n", k, r.Status, r.Formula.Clauses)
+	}
+	fmt.Println()
+
+	// Deepening schedules: linear vs squaring. Both exhaust the range
+	// without finding a counterexample; the squaring schedule needs
+	// exponentially fewer iterations to cover the same depth.
+	lin := sebmc.Deepen(sys, 32, sebmc.EngineSAT, sebmc.Options{})
+	fmt.Printf("linear deepening to 32:   %v after %d iterations (bounds %v...)\n",
+		lin.Status, lin.Iterations, lin.BoundsTried[:4])
+
+	sq := sebmc.Deepen(sys, 32, sebmc.EngineQBFSquaring, sebmc.Options{NodeBudget: 100_000})
+	fmt.Printf("squaring deepening to 32: %v after %d iterations (bounds %v)\n",
+		sq.Status, sq.Iterations, sq.BoundsTried)
+	fmt.Println()
+	fmt.Println("note: the squaring engine hands formula (3) to a general-purpose QBF")
+	fmt.Println("solver; on anything but tiny models it exhausts its budget (UNKNOWN) —")
+	fmt.Println("exactly the observation that motivated the paper's jSAT procedure.")
+
+	// jSAT on the same property: the arbiter's captured requests give
+	// every state 2^4 successors, so the depth-first engine pays a far
+	// higher price than the symbolic one — but still gets there.
+	r := sebmc.Check(sys, 6, sebmc.EngineJSAT, sebmc.Options{QueryBudget: 200_000})
+	fmt.Printf("\njsat at k=6: %v\n", r.Status)
+}

@@ -1,0 +1,43 @@
+// Encodings: the space argument of the paper, measured. One model, three
+// encodings of "reachable in k steps", sizes printed as k grows:
+//
+//   - formula (1) — classical unrolling: k copies of the transition
+//     relation, size Θ(k·|TR|);
+//   - formula (2) — linear QBF: one TR copy plus an O(n) selector per
+//     step, size Θ(|TR| + k·n);
+//   - formula (3) — iterative squaring: one TR copy plus O(n) glue per
+//     doubling, size Θ(|TR| + n·log k), at the price of log k quantifier
+//     alternations.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bmc"
+	"repro/internal/circuits"
+	"repro/internal/tseitin"
+)
+
+func main() {
+	// A 16-bit counter: n = 16 state bits, a transition relation with a
+	// ripple-carry incrementer — big enough that one TR copy dominates.
+	sys := circuits.Counter(16, 60000)
+	fmt.Printf("model %s: %d state bits\n\n", sys.Name, sys.NumStateVars())
+
+	fmt.Printf("%6s | %10s | %10s %4s | %10s %4s %6s\n",
+		"k", "(1) unroll", "(2) linear", "alt", "(3) square", "alt", "univ")
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		u := bmc.EncodeUnroll(sys, k, tseitin.Full).Stats()
+		l := bmc.EncodeLinear(sys, k, tseitin.Full).Stats()
+		s, err := bmc.EncodeSquaring(sys, k, tseitin.Full)
+		if err != nil {
+			panic(err)
+		}
+		st := s.Stats()
+		fmt.Printf("%6d | %10d | %10d %4d | %10d %4d %6d\n",
+			k, u.Clauses, l.Clauses, l.Alternations, st.Clauses, st.Alternations, st.Universals)
+	}
+	fmt.Println("\ncolumns are clause counts; 'alt' = quantifier alternations,")
+	fmt.Println("'univ' = universally quantified variables (grows with log k for (3),")
+	fmt.Println("stays 2n for (2), zero for (1) — the trade the paper explores)")
+}

@@ -1,0 +1,92 @@
+package aig
+
+// ConeOfInfluence returns a new graph containing only the logic that the
+// given output indices transitively depend on (through combinational
+// fanin and latch next-state functions). Latches and inputs outside the
+// cone are dropped. The second return value maps old latch indices to new
+// ones (-1 when dropped).
+func ConeOfInfluence(g *Graph, outputIdx ...int) (*Graph, []int) {
+	inCone := make([]bool, g.NumNodes())
+	inCone[0] = true
+
+	var mark func(l Lit)
+	mark = func(l Lit) {
+		n := l.Node()
+		if inCone[n] {
+			return
+		}
+		inCone[n] = true
+		if g.kinds[n] == KindAnd {
+			a := g.ands[n]
+			mark(a.a)
+			mark(a.b)
+		}
+	}
+	for _, oi := range outputIdx {
+		mark(g.outputs[oi].L)
+	}
+	// Latches pull in their next-state cones; iterate to fixpoint since
+	// marking a latch's next function can reach further latches.
+	for changed := true; changed; {
+		changed = false
+		for i := range g.latches {
+			l := &g.latches[i]
+			if inCone[l.Node] && !litMarked(inCone, l.Next, g) {
+				mark(l.Next)
+				changed = true
+			}
+		}
+	}
+
+	// Rebuild.
+	out := New()
+	newLit := make([]Lit, g.NumNodes())
+	mapped := make([]bool, g.NumNodes())
+	newLit[0], mapped[0] = False, true
+
+	for _, n := range g.inputs {
+		if inCone[n] {
+			newLit[n] = out.AddInput(g.names[n])
+			mapped[n] = true
+		}
+	}
+	latchMap := make([]int, len(g.latches))
+	for i := range latchMap {
+		latchMap[i] = -1
+	}
+	for i := range g.latches {
+		l := &g.latches[i]
+		if inCone[l.Node] {
+			latchMap[i] = out.NumLatches()
+			newLit[l.Node] = out.AddLatch(l.Name, l.Init)
+			mapped[l.Node] = true
+		}
+	}
+	var rebuild func(l Lit) Lit
+	rebuild = func(l Lit) Lit {
+		n := l.Node()
+		if !mapped[n] {
+			a := g.ands[n]
+			newLit[n] = out.And(rebuild(a.a), rebuild(a.b))
+			mapped[n] = true
+		}
+		if l.IsNeg() {
+			return newLit[n].Not()
+		}
+		return newLit[n]
+	}
+	for i := range g.latches {
+		if latchMap[i] >= 0 {
+			out.SetNext(newLit[g.latches[i].Node], rebuild(g.latches[i].Next))
+		}
+	}
+	for _, oi := range outputIdx {
+		o := g.outputs[oi]
+		out.AddOutput(o.Name, rebuild(o.L))
+	}
+	return out, latchMap
+}
+
+func litMarked(inCone []bool, l Lit, g *Graph) bool {
+	return inCone[l.Node()]
+}

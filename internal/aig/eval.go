@@ -1,0 +1,118 @@
+package aig
+
+// Word is the bit-parallel simulation word: 64 independent simulation
+// lanes per evaluation pass.
+type Word = uint64
+
+// Evaluator computes node values for a graph under given input and state
+// values. It is bit-parallel: each call evaluates 64 lanes at once. The
+// evaluator caches its buffer between calls, so one evaluator should not
+// be shared between goroutines.
+type Evaluator struct {
+	g    *Graph
+	vals []Word // per node
+}
+
+// NewEvaluator returns an evaluator for g.
+func NewEvaluator(g *Graph) *Evaluator {
+	return &Evaluator{g: g, vals: make([]Word, g.NumNodes())}
+}
+
+// Run evaluates every node given input words (one per primary input, in
+// declaration order) and state words (one per latch, in latch order).
+// It returns the evaluator for chaining.
+func (e *Evaluator) Run(inputs, state []Word) *Evaluator {
+	g := e.g
+	if len(inputs) != g.NumInputs() {
+		panic("aig: wrong number of input words")
+	}
+	if len(state) != g.NumLatches() {
+		panic("aig: wrong number of state words")
+	}
+	if len(e.vals) < g.NumNodes() {
+		e.vals = make([]Word, g.NumNodes())
+	}
+	e.vals[0] = 0
+	for i, node := range g.inputs {
+		e.vals[node] = inputs[i]
+	}
+	for i := range g.latches {
+		e.vals[g.latches[i].Node] = state[i]
+	}
+	// Nodes are created in topological order (an AND's fanins always
+	// exist before it), so one forward pass suffices.
+	for node := 1; node < g.NumNodes(); node++ {
+		if g.kinds[node] != KindAnd {
+			continue
+		}
+		n := g.ands[node]
+		e.vals[node] = e.lit(n.a) & e.lit(n.b)
+	}
+	return e
+}
+
+func (e *Evaluator) lit(l Lit) Word {
+	v := e.vals[l.Node()]
+	if l.IsNeg() {
+		return ^v
+	}
+	return v
+}
+
+// Lit returns the 64-lane value of l from the last Run.
+func (e *Evaluator) Lit(l Lit) Word { return e.lit(l) }
+
+// LitBool returns lane 0 of l as a bool.
+func (e *Evaluator) LitBool(l Lit) bool { return e.lit(l)&1 == 1 }
+
+// NextState returns the 64-lane next-state words after the last Run.
+func (e *Evaluator) NextState() []Word {
+	out := make([]Word, len(e.g.latches))
+	for i := range e.g.latches {
+		out[i] = e.lit(e.g.latches[i].Next)
+	}
+	return out
+}
+
+// StepBool runs one step with scalar (lane-0) boolean inputs and state,
+// returning the next state and the value of each output.
+func (e *Evaluator) StepBool(inputs, state []bool) (next []bool, outputs []bool) {
+	iw := make([]Word, len(inputs))
+	for i, b := range inputs {
+		if b {
+			iw[i] = 1
+		}
+	}
+	sw := make([]Word, len(state))
+	for i, b := range state {
+		if b {
+			sw[i] = 1
+		}
+	}
+	e.Run(iw, sw)
+	nw := e.NextState()
+	next = make([]bool, len(nw))
+	for i, w := range nw {
+		next[i] = w&1 == 1
+	}
+	outputs = make([]bool, e.g.NumOutputs())
+	for i := range outputs {
+		outputs[i] = e.LitBool(e.g.outputs[i].L)
+	}
+	return next, outputs
+}
+
+// InitialStates returns the latch reset values, with free (InitX)
+// latches reported in the second return value (their indices).
+func InitialStates(g *Graph) (init []bool, free []int) {
+	init = make([]bool, g.NumLatches())
+	for i, l := range g.latches {
+		switch l.Init {
+		case Init1:
+			init[i] = true
+		case InitX:
+			free = append(free, i)
+		}
+	}
+	return init, free
+}

@@ -1,0 +1,301 @@
+// Package aig implements And-Inverter Graphs, the circuit representation
+// used throughout this repository. Sequential designs (inputs, latches,
+// AND gates, inverters) are expressed as AIGs; the BMC encoders translate
+// AIGs to CNF/QBF, and the bit-parallel evaluator executes them directly.
+//
+// Literal convention (same as the AIGER format): a literal is 2*node for
+// the positive phase and 2*node+1 for the negated phase; node 0 is the
+// constant false, so literal 0 is FALSE and literal 1 is TRUE.
+package aig
+
+import "fmt"
+
+// Lit is an AIG literal: node index shifted left once, low bit = negation.
+type Lit uint32
+
+// Constant literals.
+const (
+	False Lit = 0
+	True  Lit = 1
+)
+
+// MkLit builds a literal from a node index and a negation flag.
+func MkLit(node uint32, neg bool) Lit {
+	l := Lit(node) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the node index of l.
+func (l Lit) Node() uint32 { return uint32(l >> 1) }
+
+// IsNeg reports whether l is negated.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// Not returns the negation of l.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal AIGER-style (its numeric value).
+func (l Lit) String() string { return fmt.Sprintf("%d", uint32(l)) }
+
+// NodeKind distinguishes the node types of a graph.
+type NodeKind uint8
+
+// Node kinds. The constant-false node 0 has KindConst.
+const (
+	KindConst NodeKind = iota
+	KindInput
+	KindLatch
+	KindAnd
+)
+
+// Init is the reset value of a latch.
+type Init uint8
+
+// Latch reset values. InitX means uninitialized (free at time 0).
+const (
+	Init0 Init = iota
+	Init1
+	InitX
+)
+
+func (in Init) String() string {
+	switch in {
+	case Init0:
+		return "0"
+	case Init1:
+		return "1"
+	}
+	return "x"
+}
+
+// Latch is a state-holding element.
+type Latch struct {
+	Node uint32 // node index of the latch output
+	Next Lit    // next-state function
+	Init Init   // reset value
+	Name string
+}
+
+// Output is a named circuit output.
+type Output struct {
+	Name string
+	L    Lit
+}
+
+type andNode struct{ a, b Lit }
+
+// Graph is a mutable And-Inverter Graph. The zero value is not usable;
+// call New.
+type Graph struct {
+	kinds   []NodeKind
+	ands    []andNode // indexed by node; meaningful only for KindAnd
+	inputs  []uint32  // node indices, in declaration order
+	latches []Latch
+	outputs []Output
+	names   []string // per node, may be empty
+	strash  map[andNode]uint32
+}
+
+// New returns an empty graph containing only the constant node.
+func New() *Graph {
+	return &Graph{
+		kinds:  []NodeKind{KindConst},
+		ands:   []andNode{{}},
+		names:  []string{"const0"},
+		strash: make(map[andNode]uint32),
+	}
+}
+
+// NumNodes returns the number of nodes including the constant node.
+func (g *Graph) NumNodes() int { return len(g.kinds) }
+
+// NumInputs returns the number of primary inputs.
+func (g *Graph) NumInputs() int { return len(g.inputs) }
+
+// NumLatches returns the number of latches.
+func (g *Graph) NumLatches() int { return len(g.latches) }
+
+// NumAnds returns the number of AND gates.
+func (g *Graph) NumAnds() int {
+	n := 0
+	for _, k := range g.kinds {
+		if k == KindAnd {
+			n++
+		}
+	}
+	return n
+}
+
+// Kind returns the kind of the given node.
+func (g *Graph) Kind(node uint32) NodeKind { return g.kinds[node] }
+
+// AndFanins returns the operands of an AND node.
+func (g *Graph) AndFanins(node uint32) (Lit, Lit) {
+	n := g.ands[node]
+	return n.a, n.b
+}
+
+// NameOf returns the declared name of a node ("" if anonymous).
+func (g *Graph) NameOf(node uint32) string { return g.names[node] }
+
+// Inputs returns the input literals in declaration order.
+func (g *Graph) Inputs() []Lit {
+	out := make([]Lit, len(g.inputs))
+	for i, n := range g.inputs {
+		out[i] = MkLit(n, false)
+	}
+	return out
+}
+
+// Latches returns a copy of the latch table.
+func (g *Graph) Latches() []Latch {
+	out := make([]Latch, len(g.latches))
+	copy(out, g.latches)
+	return out
+}
+
+// LatchLit returns the (positive) literal of latch i.
+func (g *Graph) LatchLit(i int) Lit { return MkLit(g.latches[i].Node, false) }
+
+// Outputs returns a copy of the output table.
+func (g *Graph) Outputs() []Output {
+	out := make([]Output, len(g.outputs))
+	copy(out, g.outputs)
+	return out
+}
+
+// Output returns output i.
+func (g *Graph) Output(i int) Output { return g.outputs[i] }
+
+// NumOutputs returns the number of outputs.
+func (g *Graph) NumOutputs() int { return len(g.outputs) }
+
+func (g *Graph) newNode(k NodeKind, name string) uint32 {
+	id := uint32(len(g.kinds))
+	g.kinds = append(g.kinds, k)
+	g.ands = append(g.ands, andNode{})
+	g.names = append(g.names, name)
+	return id
+}
+
+// AddInput declares a fresh primary input and returns its literal.
+func (g *Graph) AddInput(name string) Lit {
+	id := g.newNode(KindInput, name)
+	g.inputs = append(g.inputs, id)
+	return MkLit(id, false)
+}
+
+// AddLatch declares a fresh latch with the given reset value. Its
+// next-state function must be set later with SetNext. Returns the latch
+// output literal.
+func (g *Graph) AddLatch(name string, init Init) Lit {
+	id := g.newNode(KindLatch, name)
+	g.latches = append(g.latches, Latch{Node: id, Next: False, Init: init, Name: name})
+	return MkLit(id, false)
+}
+
+// SetNext sets the next-state function of the latch whose output literal
+// is l (which must be a positive latch literal).
+func (g *Graph) SetNext(l Lit, next Lit) {
+	if l.IsNeg() || g.kinds[l.Node()] != KindLatch {
+		panic("aig: SetNext requires a positive latch literal")
+	}
+	for i := range g.latches {
+		if g.latches[i].Node == l.Node() {
+			g.latches[i].Next = next
+			return
+		}
+	}
+	panic("aig: latch not found")
+}
+
+// AddOutput declares a named output.
+func (g *Graph) AddOutput(name string, l Lit) {
+	g.outputs = append(g.outputs, Output{Name: name, L: l})
+}
+
+// And returns a literal equivalent to a ∧ b, applying constant folding,
+// trivial-case rewriting and structural hashing.
+func (g *Graph) And(a, b Lit) Lit {
+	// Constant and trivial cases.
+	if a == False || b == False || a == b.Not() {
+		return False
+	}
+	if a == True {
+		return b
+	}
+	if b == True || a == b {
+		return a
+	}
+	// Canonical operand order for hashing.
+	if a > b {
+		a, b = b, a
+	}
+	key := andNode{a, b}
+	if id, ok := g.strash[key]; ok {
+		return MkLit(id, false)
+	}
+	id := g.newNode(KindAnd, "")
+	g.ands[id] = key
+	g.strash[key] = id
+	return MkLit(id, false)
+}
+
+// Or returns a ∨ b.
+func (g *Graph) Or(a, b Lit) Lit { return g.And(a.Not(), b.Not()).Not() }
+
+// Xor returns a ⊕ b.
+func (g *Graph) Xor(a, b Lit) Lit {
+	return g.Or(g.And(a, b.Not()), g.And(a.Not(), b))
+}
+
+// Iff returns a ↔ b.
+func (g *Graph) Iff(a, b Lit) Lit { return g.Xor(a, b).Not() }
+
+// Implies returns a → b.
+func (g *Graph) Implies(a, b Lit) Lit { return g.Or(a.Not(), b) }
+
+// Ite returns if c then t else e.
+func (g *Graph) Ite(c, t, e Lit) Lit {
+	return g.Or(g.And(c, t), g.And(c.Not(), e))
+}
+
+// AndN returns the conjunction of all literals (True for none).
+func (g *Graph) AndN(ls ...Lit) Lit {
+	out := True
+	for _, l := range ls {
+		out = g.And(out, l)
+	}
+	return out
+}
+
+// OrN returns the disjunction of all literals (False for none).
+func (g *Graph) OrN(ls ...Lit) Lit {
+	out := False
+	for _, l := range ls {
+		out = g.Or(out, l)
+	}
+	return out
+}
+
+// EqVec returns the conjunction of bitwise equivalences of two equal-length
+// vectors — the (U↔Z) building block of the paper's formulas (2) and (3).
+func (g *Graph) EqVec(a, b []Lit) Lit {
+	if len(a) != len(b) {
+		panic("aig: EqVec length mismatch")
+	}
+	out := True
+	for i := range a {
+		out = g.And(out, g.Iff(a[i], b[i]))
+	}
+	return out
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("aig{in:%d latch:%d and:%d out:%d}",
+		g.NumInputs(), g.NumLatches(), g.NumAnds(), g.NumOutputs())
+}

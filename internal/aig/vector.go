@@ -1,0 +1,144 @@
+package aig
+
+// Vector helpers build word-level circuits from AIG literals. Bit 0 is
+// the least significant bit throughout.
+
+// ConstVec returns an n-bit constant vector holding value (truncated).
+func ConstVec(n int, value uint64) []Lit {
+	out := make([]Lit, n)
+	for i := range out {
+		if value>>uint(i)&1 == 1 {
+			out[i] = True
+		} else {
+			out[i] = False
+		}
+	}
+	return out
+}
+
+// EqConst returns a literal that is true iff vector a equals value.
+func (g *Graph) EqConst(a []Lit, value uint64) Lit {
+	return g.EqVec(a, ConstVec(len(a), value))
+}
+
+// AddVec returns the n-bit sum a+b+cin (ripple-carry) and the carry out.
+func (g *Graph) AddVec(a, b []Lit, cin Lit) (sum []Lit, cout Lit) {
+	if len(a) != len(b) {
+		panic("aig: AddVec length mismatch")
+	}
+	sum = make([]Lit, len(a))
+	c := cin
+	for i := range a {
+		axb := g.Xor(a[i], b[i])
+		sum[i] = g.Xor(axb, c)
+		c = g.Or(g.And(a[i], b[i]), g.And(axb, c))
+	}
+	return sum, c
+}
+
+// IncVec returns a+1 (modulo 2^n) and the carry out.
+func (g *Graph) IncVec(a []Lit) (sum []Lit, cout Lit) {
+	return g.AddVec(a, ConstVec(len(a), 1), False)
+}
+
+// MuxVec returns if sel then t else e, bitwise.
+func (g *Graph) MuxVec(sel Lit, t, e []Lit) []Lit {
+	if len(t) != len(e) {
+		panic("aig: MuxVec length mismatch")
+	}
+	out := make([]Lit, len(t))
+	for i := range t {
+		out[i] = g.Ite(sel, t[i], e[i])
+	}
+	return out
+}
+
+// NotVec returns the bitwise complement.
+func NotVec(a []Lit) []Lit {
+	out := make([]Lit, len(a))
+	for i, l := range a {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+// AndVec returns the bitwise conjunction of two vectors.
+func (g *Graph) AndVec(a, b []Lit) []Lit {
+	if len(a) != len(b) {
+		panic("aig: AndVec length mismatch")
+	}
+	out := make([]Lit, len(a))
+	for i := range a {
+		out[i] = g.And(a[i], b[i])
+	}
+	return out
+}
+
+// OrVec returns the bitwise disjunction of two vectors.
+func (g *Graph) OrVec(a, b []Lit) []Lit {
+	return NotVec(g.AndVec(NotVec(a), NotVec(b)))
+}
+
+// XorVec returns the bitwise exclusive or of two vectors.
+func (g *Graph) XorVec(a, b []Lit) []Lit {
+	if len(a) != len(b) {
+		panic("aig: XorVec length mismatch")
+	}
+	out := make([]Lit, len(a))
+	for i := range a {
+		out[i] = g.Xor(a[i], b[i])
+	}
+	return out
+}
+
+// LtVec returns a literal true iff a < b as unsigned integers.
+func (g *Graph) LtVec(a, b []Lit) Lit {
+	if len(a) != len(b) {
+		panic("aig: LtVec length mismatch")
+	}
+	lt := False
+	for i := 0; i < len(a); i++ { // from LSB up; later bits dominate
+		bitLt := g.And(a[i].Not(), b[i])
+		bitEq := g.Iff(a[i], b[i])
+		lt = g.Or(bitLt, g.And(bitEq, lt))
+	}
+	return lt
+}
+
+// MulVec returns the full 2n-bit product of two n-bit vectors, built as a
+// shift-and-add array multiplier.
+func (g *Graph) MulVec(a, b []Lit) []Lit {
+	if len(a) != len(b) {
+		panic("aig: MulVec length mismatch")
+	}
+	n := len(a)
+	acc := ConstVec(2*n, 0)
+	for i := 0; i < n; i++ {
+		// partial = (a << i) & b[i], widened to 2n bits.
+		partial := ConstVec(2*n, 0)
+		for j := 0; j < n; j++ {
+			partial[i+j] = g.And(a[j], b[i])
+		}
+		acc, _ = g.AddVec(acc, partial, False)
+	}
+	return acc
+}
+
+// ShiftLeft returns the vector shifted left by one, inserting in at bit 0.
+func ShiftLeft(a []Lit, in Lit) []Lit {
+	out := make([]Lit, len(a))
+	if len(a) == 0 {
+		return out
+	}
+	out[0] = in
+	copy(out[1:], a[:len(a)-1])
+	return out
+}
+
+// RotateLeft returns the vector rotated left by one.
+func RotateLeft(a []Lit) []Lit {
+	if len(a) == 0 {
+		return nil
+	}
+	return ShiftLeft(a, a[len(a)-1])
+}

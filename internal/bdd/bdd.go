@@ -1,0 +1,191 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) with a unique table, an ITE computed cache, quantification,
+// variable substitution and the relational product — the substrate of the
+// BDD-based symbolic model checking that the paper positions bounded
+// model checking against (and from which it borrows iterative squaring).
+package bdd
+
+import "fmt"
+
+// Node is a BDD node handle. The terminals are the constants False (0)
+// and True (1); all other handles index the manager's node table.
+type Node uint32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level  uint32 // variable level; terminals live at level ^uint32(0)
+	lo, hi Node
+}
+
+const termLevel = ^uint32(0)
+
+type iteKey struct{ f, g, h Node }
+
+// Manager owns a shared node table for one variable order.
+type Manager struct {
+	nodes    []nodeData
+	unique   map[nodeData]Node
+	iteCache map[iteKey]Node
+	numVars  int
+}
+
+// New creates a manager over numVars variables, with the natural order
+// level i = variable i.
+func New(numVars int) *Manager {
+	m := &Manager{
+		unique:   make(map[nodeData]Node),
+		iteCache: make(map[iteKey]Node),
+		numVars:  numVars,
+	}
+	m.nodes = append(m.nodes,
+		nodeData{level: termLevel}, // False
+		nodeData{level: termLevel}, // True
+	)
+	return m
+}
+
+// NumVars returns the number of variables of the manager.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// NumNodes returns the number of live nodes (including terminals).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// Level returns the level of a node (for terminals, a sentinel larger
+// than any variable level).
+func (m *Manager) level(n Node) uint32 { return m.nodes[n].level }
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rules.
+func (m *Manager) mk(level uint32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := nodeData{level: level, lo: lo, hi: hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = n
+	return n
+}
+
+// Var returns the BDD for variable i.
+func (m *Manager) Var(i int) Node {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", i))
+	}
+	return m.mk(uint32(i), False, True)
+}
+
+// NVar returns the BDD for ¬(variable i).
+func (m *Manager) NVar(i int) Node {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", i))
+	}
+	return m.mk(uint32(i), True, False)
+}
+
+// Const returns the terminal for b.
+func Const(b bool) Node {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Ite computes if-then-else(f, g, h), the universal connective.
+func (m *Manager) Ite(f, g, h Node) Node {
+	// Terminal shortcuts.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := iteKey{f, g, h}
+	if r, ok := m.iteCache[key]; ok {
+		return r
+	}
+	// Top level among the three.
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	lo := m.Ite(f0, g0, h0)
+	hi := m.Ite(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.iteCache[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(n Node, level uint32) (lo, hi Node) {
+	if m.level(n) != level {
+		return n, n
+	}
+	d := m.nodes[n]
+	return d.lo, d.hi
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f Node) Node { return m.Ite(f, False, True) }
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Node) Node { return m.Ite(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Node) Node { return m.Ite(f, True, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Node) Node { return m.Ite(f, m.Not(g), g) }
+
+// Iff returns f ↔ g.
+func (m *Manager) Iff(f, g Node) Node { return m.Ite(f, g, m.Not(g)) }
+
+// Implies returns f → g.
+func (m *Manager) Implies(f, g Node) Node { return m.Ite(f, g, True) }
+
+// Eval evaluates f under a complete assignment (indexed by variable).
+func (m *Manager) Eval(f Node, assign []bool) bool {
+	for f != True && f != False {
+		d := m.nodes[f]
+		if assign[d.level] {
+			f = d.hi
+		} else {
+			f = d.lo
+		}
+	}
+	return f == True
+}
+
+// Size returns the number of nodes in the DAG rooted at f (terminals
+// excluded), a standard BDD size measure.
+func (m *Manager) Size(f Node) int {
+	seen := make(map[Node]bool)
+	var walk func(Node)
+	walk = func(n Node) {
+		if n <= True || seen[n] {
+			return
+		}
+		seen[n] = true
+		walk(m.nodes[n].lo)
+		walk(m.nodes[n].hi)
+	}
+	walk(f)
+	return len(seen)
+}

@@ -1,0 +1,222 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTerminalsAndVars(t *testing.T) {
+	m := New(3)
+	x := m.Var(0)
+	if m.Eval(x, []bool{true, false, false}) != true {
+		t.Fatalf("x under x=1 should be true")
+	}
+	if m.Eval(x, []bool{false, false, false}) != false {
+		t.Fatalf("x under x=0 should be false")
+	}
+	nx := m.NVar(0)
+	if m.Not(x) != nx {
+		t.Fatalf("Not(Var) should be canonical with NVar")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	ab1 := m.And(a, b)
+	ab2 := m.Not(m.Or(m.Not(a), m.Not(b))) // De Morgan
+	if ab1 != ab2 {
+		t.Fatalf("equivalent functions got different nodes: %v vs %v", ab1, ab2)
+	}
+	// Double negation is identity.
+	if m.Not(m.Not(ab1)) != ab1 {
+		t.Fatalf("double negation broke canonicity")
+	}
+}
+
+// buildRandomFn builds a random boolean function both as a BDD and as a
+// truth table over n variables.
+func buildRandomFn(m *Manager, rng *rand.Rand, n, ops int) (Node, func([]bool) bool) {
+	type fn struct {
+		node Node
+		eval func([]bool) bool
+	}
+	pool := []fn{}
+	for i := 0; i < n; i++ {
+		i := i
+		pool = append(pool, fn{m.Var(i), func(a []bool) bool { return a[i] }})
+	}
+	for i := 0; i < ops; i++ {
+		x := pool[rng.Intn(len(pool))]
+		y := pool[rng.Intn(len(pool))]
+		switch rng.Intn(4) {
+		case 0:
+			pool = append(pool, fn{m.And(x.node, y.node), func(a []bool) bool { return x.eval(a) && y.eval(a) }})
+		case 1:
+			pool = append(pool, fn{m.Or(x.node, y.node), func(a []bool) bool { return x.eval(a) || y.eval(a) }})
+		case 2:
+			pool = append(pool, fn{m.Xor(x.node, y.node), func(a []bool) bool { return x.eval(a) != y.eval(a) }})
+		case 3:
+			pool = append(pool, fn{m.Not(x.node), func(a []bool) bool { return !x.eval(a) }})
+		}
+	}
+	f := pool[len(pool)-1]
+	return f.node, f.eval
+}
+
+func TestRandomFunctionsAgainstTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 60; iter++ {
+		n := 3 + rng.Intn(4)
+		m := New(n)
+		node, ref := buildRandomFn(m, rng, n, 5+rng.Intn(25))
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			a := make([]bool, n)
+			for i := range a {
+				a[i] = bits>>uint(i)&1 == 1
+			}
+			if m.Eval(node, a) != ref(a) {
+				t.Fatalf("iter %d bits %b: BDD disagrees with reference", iter, bits)
+			}
+		}
+	}
+}
+
+func TestExistsForall(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 40; iter++ {
+		n := 3 + rng.Intn(3)
+		m := New(n)
+		node, ref := buildRandomFn(m, rng, n, 15)
+		qv := rng.Intn(n)
+		ex := m.Exists(node, m.NewVarSet(qv))
+		fa := m.Forall(node, m.NewVarSet(qv))
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			a := make([]bool, n)
+			for i := range a {
+				a[i] = bits>>uint(i)&1 == 1
+			}
+			a0 := append([]bool(nil), a...)
+			a1 := append([]bool(nil), a...)
+			a0[qv], a1[qv] = false, true
+			wantEx := ref(a0) || ref(a1)
+			wantFa := ref(a0) && ref(a1)
+			if m.Eval(ex, a) != wantEx {
+				t.Fatalf("iter %d: Exists wrong", iter)
+			}
+			if m.Eval(fa, a) != wantFa {
+				t.Fatalf("iter %d: Forall wrong", iter)
+			}
+		}
+	}
+}
+
+func TestAndExistsEqualsComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 40; iter++ {
+		n := 4 + rng.Intn(3)
+		m := New(n)
+		f, _ := buildRandomFn(m, rng, n, 12)
+		g, _ := buildRandomFn(m, rng, n, 12)
+		vars := m.NewVarSet(rng.Intn(n), rng.Intn(n))
+		got := m.AndExists(f, g, vars)
+		want := m.Exists(m.And(f, g), vars)
+		if got != want {
+			t.Fatalf("iter %d: AndExists != Exists∘And", iter)
+		}
+	}
+}
+
+func TestReplaceSwapsPairs(t *testing.T) {
+	// Interleaved order: current at even, next at odd. A function over
+	// next variables replaced to current variables.
+	m := New(4)
+	f := m.And(m.Var(1), m.Not(m.Var(3))) // n0 ∧ ¬n1
+	perm := []int{1, 0, 3, 2}
+	g := m.Replace(f, perm)
+	want := m.And(m.Var(0), m.Not(m.Var(2)))
+	if g != want {
+		t.Fatalf("Replace produced wrong function")
+	}
+}
+
+func TestReplaceRejectsNonMonotone(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(0), m.Var(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("order-violating Replace should panic")
+		}
+	}()
+	m.Replace(f, []int{1, 0, 2, 3}) // swaps both support vars: 0→1 above 1→0
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(0), m.And(m.Not(m.Var(2)), m.Var(3)))
+	sol, ok := m.AnySat(f)
+	if !ok {
+		t.Fatalf("satisfiable function reported unsat")
+	}
+	a := make([]bool, 4)
+	for i, v := range sol {
+		a[i] = v > 0
+	}
+	if !m.Eval(f, a) {
+		t.Fatalf("AnySat solution does not satisfy f: %v", sol)
+	}
+	if _, ok := m.AnySat(False); ok {
+		t.Fatalf("False reported satisfiable")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	if m.SatCount(True).Int64() != 8 {
+		t.Fatalf("SatCount(True) over 3 vars should be 8")
+	}
+	if m.SatCount(False).Int64() != 0 {
+		t.Fatalf("SatCount(False) should be 0")
+	}
+	x := m.Var(0)
+	if m.SatCount(x).Int64() != 4 {
+		t.Fatalf("SatCount(x) should be 4, got %d", m.SatCount(x).Int64())
+	}
+	xy := m.And(m.Var(0), m.Var(2))
+	if m.SatCount(xy).Int64() != 2 {
+		t.Fatalf("SatCount(x∧z) should be 2, got %d", m.SatCount(xy).Int64())
+	}
+}
+
+func TestSatCountRandomAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for iter := 0; iter < 30; iter++ {
+		n := 3 + rng.Intn(4)
+		m := New(n)
+		node, ref := buildRandomFn(m, rng, n, 18)
+		count := 0
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			a := make([]bool, n)
+			for i := range a {
+				a[i] = bits>>uint(i)&1 == 1
+			}
+			if ref(a) {
+				count++
+			}
+		}
+		if got := m.SatCount(node).Int64(); got != int64(count) {
+			t.Fatalf("iter %d: SatCount=%d enumeration=%d", iter, got, count)
+		}
+	}
+}
+
+func TestSizeMeasure(t *testing.T) {
+	m := New(8)
+	f := True
+	for i := 0; i < 8; i++ {
+		f = m.And(f, m.Var(i))
+	}
+	if m.Size(f) != 8 {
+		t.Fatalf("conjunction of 8 vars should have 8 nodes, got %d", m.Size(f))
+	}
+}

@@ -1,0 +1,121 @@
+package bdd
+
+// VarSet marks the variables affected by quantification or substitution.
+type VarSet []bool
+
+// NewVarSet builds a VarSet over the manager's variables from a list.
+func (m *Manager) NewVarSet(vars ...int) VarSet {
+	s := make(VarSet, m.numVars)
+	for _, v := range vars {
+		s[v] = true
+	}
+	return s
+}
+
+// Exists computes ∃vars: f.
+func (m *Manager) Exists(f Node, vars VarSet) Node {
+	cache := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(n Node) Node {
+		if n <= True {
+			return n
+		}
+		if r, ok := cache[n]; ok {
+			return r
+		}
+		d := m.nodes[n]
+		lo, hi := rec(d.lo), rec(d.hi)
+		var r Node
+		if vars[d.level] {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.mk(d.level, lo, hi)
+		}
+		cache[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Forall computes ∀vars: f.
+func (m *Manager) Forall(f Node, vars VarSet) Node {
+	return m.Not(m.Exists(m.Not(f), vars))
+}
+
+// AndExists computes ∃vars: f ∧ g in one pass — the relational product
+// at the heart of symbolic image computation.
+func (m *Manager) AndExists(f, g Node, vars VarSet) Node {
+	type key struct{ f, g Node }
+	cache := make(map[key]Node)
+	var rec func(f, g Node) Node
+	rec = func(f, g Node) Node {
+		if f == False || g == False {
+			return False
+		}
+		if f == True && g == True {
+			return True
+		}
+		k := key{f, g}
+		if f > g {
+			k = key{g, f} // conjunction is symmetric
+		}
+		if r, ok := cache[k]; ok {
+			return r
+		}
+		top := m.level(f)
+		if l := m.level(g); l < top {
+			top = l
+		}
+		f0, f1 := m.cofactors(f, top)
+		g0, g1 := m.cofactors(g, top)
+		var r Node
+		if vars[top] {
+			// Quantified: OR of the two cofactor products, with early
+			// termination when the first branch is already True.
+			lo := rec(f0, g0)
+			if lo == True {
+				r = True
+			} else {
+				r = m.Or(lo, rec(f1, g1))
+			}
+		} else {
+			r = m.mk(top, rec(f0, g0), rec(f1, g1))
+		}
+		cache[k] = r
+		return r
+	}
+	return rec(f, g)
+}
+
+// Replace substitutes variables according to perm: variable i becomes
+// perm[i]. The permutation must be level-order-preserving on the support
+// of f (it is, for the interleaved current/next orders used by the
+// reachability engine, where the permutation swaps adjacent pairs);
+// non-monotone mappings would require re-normalization and are rejected
+// by a panic when detected.
+func (m *Manager) Replace(f Node, perm []int) Node {
+	cache := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(n Node) Node {
+		if n <= True {
+			return n
+		}
+		if r, ok := cache[n]; ok {
+			return r
+		}
+		d := m.nodes[n]
+		lo, hi := rec(d.lo), rec(d.hi)
+		nl := uint32(perm[d.level])
+		// The substituted variable must still be above both children.
+		if ll := m.level(lo); ll != termLevel && nl >= ll {
+			panic("bdd: Replace permutation does not preserve the order")
+		}
+		if hl := m.level(hi); hl != termLevel && nl >= hl {
+			panic("bdd: Replace permutation does not preserve the order")
+		}
+		r := m.mk(nl, lo, hi)
+		cache[n] = r
+		return r
+	}
+	return rec(f)
+}

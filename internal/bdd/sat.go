@@ -1,0 +1,61 @@
+package bdd
+
+import "math/big"
+
+// AnySat returns one satisfying assignment of f as a ternary vector:
+// +1 (true), -1 (false), 0 (don't care), indexed by variable. The second
+// return value is false when f is unsatisfiable.
+func (m *Manager) AnySat(f Node) ([]int8, bool) {
+	if f == False {
+		return nil, false
+	}
+	out := make([]int8, m.numVars)
+	for f != True {
+		d := m.nodes[f]
+		if d.lo != False {
+			out[d.level] = -1
+			f = d.lo
+		} else {
+			out[d.level] = +1
+			f = d.hi
+		}
+	}
+	return out, true
+}
+
+// SatCount returns the number of satisfying assignments of f over the
+// manager's full variable set.
+func (m *Manager) SatCount(f Node) *big.Int {
+	cache := make(map[Node]*big.Int)
+	var rec func(n Node, level uint32) *big.Int
+	rec = func(n Node, level uint32) *big.Int {
+		// Count below the given level.
+		if n == False {
+			return big.NewInt(0)
+		}
+		nLevel := m.level(n)
+		if n == True {
+			nLevel = uint32(m.numVars)
+		}
+		var base *big.Int
+		if n == True {
+			base = big.NewInt(1)
+		} else if c, ok := cache[n]; ok {
+			base = c
+		} else {
+			d := m.nodes[n]
+			lo := rec(d.lo, d.level+1)
+			hi := rec(d.hi, d.level+1)
+			base = new(big.Int).Add(lo, hi)
+			cache[n] = base
+		}
+		// Scale by the skipped levels.
+		skipped := uint(nLevel - level)
+		if skipped == 0 {
+			return base
+		}
+		scale := new(big.Int).Lsh(big.NewInt(1), skipped)
+		return new(big.Int).Mul(base, scale)
+	}
+	return rec(f, 0)
+}

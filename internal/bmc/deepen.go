@@ -1,0 +1,74 @@
+package bmc
+
+import (
+	"repro/internal/model"
+)
+
+// DeepenResult records an iterative-deepening run: the complete
+// bounded-model-checking procedure that increases the bound until a
+// counterexample is found or the limit is reached. The iteration count
+// is the quantity compared in experiment E4: linear deepening performs
+// O(D) iterations to cover diameter D, iterative squaring O(log D).
+type DeepenResult struct {
+	Status      Status
+	FoundAt     int // bound at which a counterexample appeared (-1 if none)
+	Iterations  int // solver invocations performed
+	BoundsTried []int
+}
+
+// CheckFunc answers one bounded reachability query at bound k.
+type CheckFunc func(sys *model.System, k int) Result
+
+// DeepenLinear runs the classical deepening loop: k = 0, 1, 2, … maxBound
+// with at-most-k unnecessary because each exact-k query extends the
+// previous one — the driver uses the semantics baked into check.
+func DeepenLinear(sys *model.System, maxBound int, check CheckFunc) DeepenResult {
+	res := DeepenResult{FoundAt: -1}
+	for k := 0; k <= maxBound; k++ {
+		res.Iterations++
+		res.BoundsTried = append(res.BoundsTried, k)
+		r := check(sys, k)
+		switch r.Status {
+		case Reachable:
+			res.Status = Reachable
+			res.FoundAt = k
+			return res
+		case Unknown:
+			res.Status = Unknown
+			return res
+		}
+	}
+	res.Status = Unreachable
+	return res
+}
+
+// DeepenSquaring runs the squaring loop: k = 0, 1, 2, 4, 8, … up to the
+// first power of two ≥ maxBound. The check function must implement
+// at-most-k semantics (self-loop) so that every bound below each power of
+// two is covered, as the paper prescribes.
+func DeepenSquaring(sys *model.System, maxBound int, check CheckFunc) DeepenResult {
+	res := DeepenResult{FoundAt: -1}
+	bounds := []int{0}
+	for k := 1; ; k *= 2 {
+		bounds = append(bounds, k)
+		if k >= maxBound {
+			break
+		}
+	}
+	for _, k := range bounds {
+		res.Iterations++
+		res.BoundsTried = append(res.BoundsTried, k)
+		r := check(sys, k)
+		switch r.Status {
+		case Reachable:
+			res.Status = Reachable
+			res.FoundAt = k
+			return res
+		case Unknown:
+			res.Status = Unknown
+			return res
+		}
+	}
+	res.Status = Unreachable
+	return res
+}

@@ -1,0 +1,106 @@
+package bmc_test
+
+import (
+	"testing"
+
+	"repro/internal/bmc"
+	"repro/internal/circuits"
+	"repro/internal/explicit"
+	"repro/internal/jsat"
+	"repro/internal/qbf"
+	"repro/internal/tseitin"
+)
+
+// TestFuzzEnginesAgreeOnRandomSystems is the master cross-engine fuzz:
+// for dozens of random sequential circuits and every small bound, the
+// unroll/SAT engine, jSAT (both semantics, both CNF modes) and — on the
+// tiniest instances — the linear-QBF engine must all agree with the
+// explicit-state oracle.
+func TestFuzzEnginesAgreeOnRandomSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	for seed := int64(100); seed < 160; seed++ {
+		nIn := 1 + int(seed%3)
+		nLatch := 2 + int(seed%4)
+		nAnd := 5 + int(seed%20)
+		sys := circuits.RandomAIG(seed, nIn, nLatch, nAnd, 2)
+		oracle := explicit.New(sys)
+
+		js := jsat.New(sys, jsat.Options{})
+		jsAM := jsat.New(sys, jsat.Options{Semantics: bmc.AtMost})
+
+		for k := 0; k <= 5; k++ {
+			wantExact := oracle.ReachableExact(k)
+			wantWithin := oracle.ReachableWithin(k)
+
+			ru := bmc.SolveUnroll(sys, k, bmc.UnrollOptions{})
+			if (ru.Status == bmc.Reachable) != wantExact {
+				t.Fatalf("seed %d k=%d: unroll=%v oracle=%v", seed, k, ru.Status, wantExact)
+			}
+			if ru.Status == bmc.Reachable {
+				if err := ru.Witness.Validate(ru.System); err != nil {
+					t.Fatalf("seed %d k=%d: unroll witness: %v", seed, k, err)
+				}
+			}
+			rp := bmc.SolveUnroll(sys, k, bmc.UnrollOptions{Mode: tseitin.PlaistedGreenbaum, Semantics: bmc.AtMost})
+			if (rp.Status == bmc.Reachable) != wantWithin {
+				t.Fatalf("seed %d k=%d: unroll/PG/atmost=%v oracle=%v", seed, k, rp.Status, wantWithin)
+			}
+
+			rj := js.Check(k)
+			if (rj.Status == bmc.Reachable) != wantExact || rj.Status == bmc.Unknown {
+				t.Fatalf("seed %d k=%d: jsat=%v oracle=%v", seed, k, rj.Status, wantExact)
+			}
+			if rj.Status == bmc.Reachable {
+				if err := rj.Witness.Validate(rj.System); err != nil {
+					t.Fatalf("seed %d k=%d: jsat witness: %v", seed, k, err)
+				}
+			}
+			ra := jsAM.Check(k)
+			if (ra.Status == bmc.Reachable) != wantWithin || ra.Status == bmc.Unknown {
+				t.Fatalf("seed %d k=%d: jsat/atmost=%v oracle=%v", seed, k, ra.Status, wantWithin)
+			}
+
+			// Linear QBF only on the smallest systems and bounds: the
+			// QDPLL is exponential by design.
+			if nLatch <= 3 && nIn <= 2 && k <= 2 {
+				rl := bmc.SolveLinear(sys, k, bmc.LinearOptions{QBF: qbf.Options{NodeBudget: 20_000_000}})
+				if rl.Status != bmc.Unknown && (rl.Status == bmc.Reachable) != wantExact {
+					t.Fatalf("seed %d k=%d: linear=%v oracle=%v", seed, k, rl.Status, wantExact)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzSquaringAgainstOracle runs the squaring engine on tiny random
+// systems at power-of-two bounds under both semantics.
+func TestFuzzSquaringAgainstOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	for seed := int64(300); seed < 318; seed++ {
+		sys := circuits.RandomAIG(seed, 1, 2, 6, 1)
+		oracle := explicit.New(sys)
+		for _, k := range []int{0, 1, 2, 4} {
+			wantExact := oracle.ReachableExact(k)
+			r, err := bmc.SolveSquaring(sys, k, bmc.SquaringOptions{QBF: qbf.Options{NodeBudget: 30_000_000}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Status != bmc.Unknown && (r.Status == bmc.Reachable) != wantExact {
+				t.Fatalf("seed %d k=%d: squaring=%v oracle=%v", seed, k, r.Status, wantExact)
+			}
+
+			wantWithin := oracle.ReachableWithin(k)
+			ra, err := bmc.SolveSquaring(sys, k, bmc.SquaringOptions{Semantics: bmc.AtMost, QBF: qbf.Options{NodeBudget: 30_000_000}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ra.Status != bmc.Unknown && (ra.Status == bmc.Reachable) != wantWithin {
+				t.Fatalf("seed %d k=%d: squaring/atmost=%v oracle=%v", seed, k, ra.Status, wantWithin)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package bmc
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/model"
+	"repro/internal/sat"
+	"repro/internal/tseitin"
+)
+
+// UnrollEncoding is the classical BMC instance: formula (1) of the
+// paper, with k copies of the transition relation.
+type UnrollEncoding struct {
+	F *cnf.Formula
+	// StateVars[t][i] is the CNF variable of latch i at time t, for
+	// t = 0..K.
+	StateVars [][]cnf.Var
+	// InputVars[t][j] is the CNF variable of input j at time t. Frame K
+	// exists because the bad predicate may read inputs.
+	InputVars [][]cnf.Var
+	K         int
+}
+
+// EncodeUnroll builds formula (1):
+//
+//	I(Z0) ∧ F(Zk) ∧ ⋀_{t<k} TR(Z_t, Z_{t+1})
+//
+// as a propositional CNF. Each time frame instantiates a fresh copy of
+// the transition relation, so the formula grows by |TR| per bound step —
+// the memory behaviour the paper sets out to avoid.
+func EncodeUnroll(sys *model.System, k int, mode tseitin.Mode) *UnrollEncoding {
+	g := sys.Circ
+	n := g.NumLatches()
+	ni := g.NumInputs()
+	f := &cnf.Formula{}
+
+	u := &UnrollEncoding{F: f, K: k}
+	u.StateVars = make([][]cnf.Var, k+1)
+	u.InputVars = make([][]cnf.Var, k+1)
+	for t := 0; t <= k; t++ {
+		u.StateVars[t] = f.NewVars(n)
+		u.InputVars[t] = f.NewVars(ni)
+	}
+
+	// I(Z0): unit constraints from the latch reset values.
+	for i, iv := range sys.InitValues() {
+		if iv.Constrained {
+			f.AddUnit(cnf.MkLit(u.StateVars[0][i], !iv.Value))
+		}
+	}
+
+	// One transition-relation copy per step.
+	latches := g.Latches()
+	for t := 0; t < k; t++ {
+		enc := tseitin.New(g, f, mode)
+		for i := 0; i < n; i++ {
+			enc.BindLit(g.LatchLit(i), u.StateVars[t][i])
+		}
+		for j, il := range g.Inputs() {
+			enc.BindLit(il, u.InputVars[t][j])
+		}
+		for i := range latches {
+			nl := enc.Lit(latches[i].Next)
+			v := cnf.PosLit(u.StateVars[t+1][i])
+			f.Add(v.Neg(), nl)
+			f.Add(v, nl.Neg())
+		}
+	}
+
+	// F(Zk): the bad cone over the last frame.
+	enc := tseitin.New(g, f, mode)
+	for i := 0; i < n; i++ {
+		enc.BindLit(g.LatchLit(i), u.StateVars[k][i])
+	}
+	for j, il := range g.Inputs() {
+		enc.BindLit(il, u.InputVars[k][j])
+	}
+	f.AddUnit(enc.LitAssert(sys.Bad))
+	return u
+}
+
+// Stats returns the size of the encoded formula.
+func (u *UnrollEncoding) Stats() FormulaStats {
+	return FormulaStats{
+		Vars:     u.F.NumVars(),
+		Clauses:  u.F.NumClauses(),
+		Literals: u.F.NumLiterals(),
+		Bytes:    u.F.SizeBytes(),
+	}
+}
+
+// UnrollOptions configure SolveUnroll.
+type UnrollOptions struct {
+	Semantics Semantics
+	Mode      tseitin.Mode
+	SAT       sat.Options
+	// Preprocess applies CNF preprocessing (subsumption + bounded
+	// variable elimination) before solving, protecting the state and
+	// input variables so witnesses remain readable.
+	Preprocess bool
+}
+
+// SolveUnroll runs classical SAT-based BMC at bound k.
+func SolveUnroll(sys *model.System, k int, opts UnrollOptions) Result {
+	prepared := Prepare(sys, opts.Semantics)
+	enc := EncodeUnroll(prepared, k, opts.Mode)
+
+	if opts.Preprocess {
+		var protect []cnf.Var
+		for t := 0; t <= k; t++ {
+			protect = append(protect, enc.StateVars[t]...)
+			protect = append(protect, enc.InputVars[t]...)
+		}
+		if st := enc.F.Preprocess(protect, cnf.PreprocessOptions{}); st.Result == cnf.SimplifyUnsat {
+			return Result{Status: Unreachable, K: k, Formula: enc.Stats(), System: prepared}
+		}
+	}
+
+	s := sat.New(opts.SAT)
+	for s.NumVars() < enc.F.NumVars() {
+		s.NewVar()
+	}
+	for _, c := range enc.F.Clauses {
+		if !s.AddClause(c...) {
+			break
+		}
+	}
+	res := Result{K: k, Formula: enc.Stats(), System: prepared}
+	switch s.Solve() {
+	case sat.Sat:
+		res.Status = Reachable
+		res.Witness = extractWitness(prepared, enc, s)
+	case sat.Unsat:
+		res.Status = Unreachable
+	default:
+		res.Status = Unknown
+	}
+	res.Conflicts = s.Stats.Conflicts
+	res.PeakBytes = s.SizeBytes()
+	return res
+}
+
+func extractWitness(sys *model.System, enc *UnrollEncoding, s *sat.Solver) *Witness {
+	w := &Witness{K: enc.K}
+	for t := 0; t <= enc.K; t++ {
+		states := make([]bool, len(enc.StateVars[t]))
+		for i, v := range enc.StateVars[t] {
+			states[i] = s.Value(v) == cnf.True
+		}
+		inputs := make([]bool, len(enc.InputVars[t]))
+		for j, v := range enc.InputVars[t] {
+			inputs[j] = s.Value(v) == cnf.True
+		}
+		w.States = append(w.States, states)
+		w.Inputs = append(w.Inputs, inputs)
+	}
+	return w
+}

@@ -1,0 +1,78 @@
+package bmc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/model"
+)
+
+// Witness is a counterexample trace: a path of k transitions from an
+// initial state to a bad state. States[t] is the latch valuation before
+// transition t; Inputs[t] drives transition t, except Inputs[K] which
+// feeds the bad predicate in the arrival state.
+type Witness struct {
+	K      int
+	States [][]bool // K+1 entries
+	Inputs [][]bool // K+1 entries
+}
+
+// Validate replays the witness on the system and reports the first
+// inconsistency, or nil when the trace is a genuine counterexample.
+func (w *Witness) Validate(sys *model.System) error {
+	if len(w.States) != w.K+1 || len(w.Inputs) != w.K+1 {
+		return fmt.Errorf("bmc: witness has %d states and %d input frames, want %d", len(w.States), len(w.Inputs), w.K+1)
+	}
+	if !sys.IsInitial(w.States[0]) {
+		return fmt.Errorf("bmc: witness state 0 is not an initial state")
+	}
+	e := aig.NewEvaluator(sys.Circ)
+	for t := 0; t < w.K; t++ {
+		next, _ := e.StepBool(w.Inputs[t], w.States[t])
+		for i := range next {
+			if next[i] != w.States[t+1][i] {
+				return fmt.Errorf("bmc: witness transition %d->%d: latch %d mismatch", t, t+1, i)
+			}
+		}
+	}
+	// Bad must hold in the final state under the final input frame.
+	iw := make([]aig.Word, len(w.Inputs[w.K]))
+	for j, b := range w.Inputs[w.K] {
+		if b {
+			iw[j] = 1
+		}
+	}
+	sw := make([]aig.Word, len(w.States[w.K]))
+	for i, b := range w.States[w.K] {
+		if b {
+			sw[i] = 1
+		}
+	}
+	e.Run(iw, sw)
+	if !e.LitBool(sys.Bad) {
+		return fmt.Errorf("bmc: witness final state does not satisfy the bad predicate")
+	}
+	return nil
+}
+
+// String renders the trace one frame per line.
+func (w *Witness) String() string {
+	var b strings.Builder
+	for t := 0; t <= w.K; t++ {
+		fmt.Fprintf(&b, "frame %2d: state=%s inputs=%s\n", t, bitString(w.States[t]), bitString(w.Inputs[t]))
+	}
+	return b.String()
+}
+
+func bitString(bs []bool) string {
+	var sb strings.Builder
+	for _, b := range bs {
+		if b {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,229 @@
+// Package cnf provides propositional variables, literals, clauses and
+// formulas in conjunctive normal form, together with DIMACS and QDIMACS
+// serialization. It is the lingua franca between the circuit encoders
+// (internal/tseitin, internal/bmc) and the decision procedures
+// (internal/sat, internal/qbf, internal/jsat).
+package cnf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Var is a propositional variable. Variables are numbered from 1, as in
+// DIMACS; 0 is reserved as "no variable".
+type Var uint32
+
+// NoVar is the zero Var, used as a sentinel.
+const NoVar Var = 0
+
+// Lit is a literal: a variable together with a sign. The encoding is the
+// usual solver-friendly one, Lit = 2*Var for a positive literal and
+// 2*Var+1 for a negative literal, so that literals index arrays densely
+// and negation is a single XOR.
+type Lit uint32
+
+// NoLit is an invalid literal (the positive literal of NoVar).
+const NoLit Lit = 0
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v) << 1 }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v)<<1 | 1 }
+
+// MkLit returns the literal of v with the given sign; neg=true selects ¬v.
+func MkLit(v Var, neg bool) Lit {
+	if neg {
+		return NegLit(v)
+	}
+	return PosLit(v)
+}
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg returns the negation of l.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// IsNeg reports whether l is a negative literal.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// Sign returns +1 for positive literals and -1 for negative ones.
+func (l Lit) Sign() int {
+	if l.IsNeg() {
+		return -1
+	}
+	return +1
+}
+
+// Dimacs returns the signed DIMACS integer for l (e.g. ¬x3 → -3).
+func (l Lit) Dimacs() int {
+	if l.IsNeg() {
+		return -int(l.Var())
+	}
+	return int(l.Var())
+}
+
+// LitFromDimacs converts a signed DIMACS integer to a Lit. It panics on 0,
+// which DIMACS reserves as the clause terminator.
+func LitFromDimacs(d int) Lit {
+	if d == 0 {
+		panic("cnf: literal 0 is not a valid DIMACS literal")
+	}
+	if d < 0 {
+		return NegLit(Var(-d))
+	}
+	return PosLit(Var(d))
+}
+
+// String renders l in DIMACS notation.
+func (l Lit) String() string { return fmt.Sprintf("%d", l.Dimacs()) }
+
+// Value is a ternary truth value used for partial assignments.
+type Value uint8
+
+// The three truth values.
+const (
+	Undef Value = iota
+	True
+	False
+)
+
+// Not returns the ternary negation of v (Undef stays Undef).
+func (v Value) Not() Value {
+	switch v {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Undef
+}
+
+// String returns "T", "F" or "?".
+func (v Value) String() string {
+	switch v {
+	case True:
+		return "T"
+	case False:
+		return "F"
+	}
+	return "?"
+}
+
+// BoolValue converts a bool to True/False.
+func BoolValue(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Assignment maps variables to ternary values. Index 0 is unused.
+type Assignment []Value
+
+// NewAssignment returns an all-Undef assignment able to hold n variables.
+func NewAssignment(n int) Assignment { return make(Assignment, n+1) }
+
+// Get returns the value of v, or Undef when v is outside the assignment.
+func (a Assignment) Get(v Var) Value {
+	if int(v) >= len(a) {
+		return Undef
+	}
+	return a[v]
+}
+
+// Set assigns val to v; the assignment must be large enough.
+func (a Assignment) Set(v Var, val Value) { a[v] = val }
+
+// Lit returns the value of literal l under a.
+func (a Assignment) Lit(l Lit) Value {
+	v := a.Get(l.Var())
+	if l.IsNeg() {
+		return v.Not()
+	}
+	return v
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Clone returns a copy of c.
+func (c Clause) Clone() Clause {
+	out := make(Clause, len(c))
+	copy(out, c)
+	return out
+}
+
+// MaxVar returns the largest variable mentioned in c (NoVar for empty c).
+func (c Clause) MaxVar() Var {
+	var m Var
+	for _, l := range c {
+		if l.Var() > m {
+			m = l.Var()
+		}
+	}
+	return m
+}
+
+// Normalize sorts c, removes duplicate literals, and reports whether the
+// clause is a tautology (contains l and ¬l). The returned clause aliases
+// c's storage.
+func (c Clause) Normalize() (Clause, bool) {
+	if len(c) == 0 {
+		return c, false
+	}
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	out := c[:1]
+	for _, l := range c[1:] {
+		last := out[len(out)-1]
+		if l == last {
+			continue // duplicate
+		}
+		if l == last.Neg() {
+			return c, true // tautology: sorted order puts v and ¬v adjacent
+		}
+		out = append(out, l)
+	}
+	return out, false
+}
+
+// Status summarizes a clause under a partial assignment.
+type Status uint8
+
+// Clause statuses under a partial assignment.
+const (
+	StatusUnresolved Status = iota // some literal undefined, none true
+	StatusSatisfied                // at least one literal true
+	StatusFalsified                // all literals false
+)
+
+// StatusUnder returns the status of c under a.
+func (c Clause) StatusUnder(a Assignment) Status {
+	undef := false
+	for _, l := range c {
+		switch a.Lit(l) {
+		case True:
+			return StatusSatisfied
+		case Undef:
+			undef = true
+		}
+	}
+	if undef {
+		return StatusUnresolved
+	}
+	return StatusFalsified
+}
+
+// String renders the clause in DIMACS style, without the trailing 0.
+func (c Clause) String() string {
+	s := ""
+	for i, l := range c {
+		if i > 0 {
+			s += " "
+		}
+		s += l.String()
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS writes f in DIMACS CNF format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.numVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		if err := writeClause(bw, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeClause(bw *bufio.Writer, c Clause) error {
+	for _, l := range c {
+		if _, err := bw.WriteString(strconv.Itoa(l.Dimacs())); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(' '); err != nil {
+			return err
+		}
+	}
+	_, err := bw.WriteString("0\n")
+	return err
+}
+
+// ParseDIMACS reads a DIMACS CNF file. Comment lines ("c ...") are
+// skipped; the problem line is validated but a larger actual clause count
+// or variable index is tolerated with an error, matching common solver
+// behaviour of accepting slightly malformed industrial files.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	f := &Formula{}
+	declaredVars, declaredClauses := -1, -1
+	var cur Clause
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", line, text)
+			}
+			var err error
+			if declaredVars, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count: %v", line, err)
+			}
+			if declaredClauses, err = strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad clause count: %v", line, err)
+			}
+			f.EnsureVars(declaredVars)
+			continue
+		}
+		if declaredVars < 0 {
+			return nil, fmt.Errorf("cnf: line %d: clause before problem line", line)
+		}
+		for _, tok := range strings.Fields(text) {
+			d, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q", line, tok)
+			}
+			if d == 0 {
+				f.AddClause(cur)
+				cur = nil
+				continue
+			}
+			if d > declaredVars || -d > declaredVars {
+				return nil, fmt.Errorf("cnf: line %d: literal %d exceeds declared variable count %d", line, d, declaredVars)
+			}
+			cur = append(cur, LitFromDimacs(d))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("cnf: unterminated clause at end of input")
+	}
+	if declaredClauses >= 0 && len(f.Clauses) != declaredClauses {
+		return nil, fmt.Errorf("cnf: declared %d clauses but found %d", declaredClauses, len(f.Clauses))
+	}
+	return f, nil
+}

@@ -1,0 +1,177 @@
+package cnf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		f := randomFormula(rng, 5+rng.Intn(20), 1+rng.Intn(30))
+		var buf bytes.Buffer
+		if err := f.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("iter %d: parse: %v", iter, err)
+		}
+		if g.NumVars() != f.NumVars() || g.NumClauses() != f.NumClauses() {
+			t.Fatalf("iter %d: size mismatch after roundtrip", iter)
+		}
+		for i := range f.Clauses {
+			if len(f.Clauses[i]) != len(g.Clauses[i]) {
+				t.Fatalf("iter %d: clause %d length differs", iter, i)
+			}
+			for j := range f.Clauses[i] {
+				if f.Clauses[i][j] != g.Clauses[i][j] {
+					t.Fatalf("iter %d: clause %d literal %d differs", iter, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestParseDIMACSComments(t *testing.T) {
+	in := "c a comment\nc another\np cnf 3 2\n1 -2 0\n2 3 0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars() != 3 || f.NumClauses() != 2 {
+		t.Fatalf("got %v", f)
+	}
+	if f.Clauses[0][1] != NegLit(2) {
+		t.Fatalf("literal parse wrong: %v", f.Clauses[0])
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 3 1\n1\n-2\n3 0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 3 {
+		t.Fatalf("multiline clause not joined: %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"clause before header", "1 2 0\n"},
+		{"bad header", "p sat 3 2\n"},
+		{"bad literal", "p cnf 2 1\nx 0\n"},
+		{"literal out of range", "p cnf 2 1\n5 0\n"},
+		{"unterminated clause", "p cnf 2 1\n1 2\n"},
+		{"clause count mismatch", "p cnf 2 2\n1 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestQDIMACSRoundtrip(t *testing.T) {
+	p := NewPCNF()
+	m := p.Matrix
+	m.EnsureVars(6)
+	p.AddBlock(Exists, []Var{1, 2})
+	p.AddBlock(Forall, []Var{3, 4})
+	p.AddBlock(Exists, []Var{5, 6})
+	m.Add(PosLit(1), NegLit(3), PosLit(5))
+	m.Add(NegLit(2), PosLit(4), NegLit(6))
+
+	var buf bytes.Buffer
+	if err := p.WriteQDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Prefix) != 3 {
+		t.Fatalf("prefix length %d, want 3", len(q.Prefix))
+	}
+	if q.Prefix[1].Quant != Forall || len(q.Prefix[1].Vars) != 2 {
+		t.Fatalf("forall block wrong: %+v", q.Prefix[1])
+	}
+	if q.Matrix.NumClauses() != 2 {
+		t.Fatalf("matrix clauses %d, want 2", q.Matrix.NumClauses())
+	}
+	if q.Alternations() != 2 {
+		t.Fatalf("alternations %d, want 2", q.Alternations())
+	}
+	if q.NumUniversals() != 2 {
+		t.Fatalf("universals %d, want 2", q.NumUniversals())
+	}
+}
+
+func TestPCNFAddBlockMerges(t *testing.T) {
+	p := NewPCNF()
+	p.Matrix.EnsureVars(4)
+	p.AddBlock(Exists, []Var{1})
+	p.AddBlock(Exists, []Var{2})
+	p.AddBlock(Forall, []Var{3})
+	p.AddBlock(Exists, nil) // no-op
+	p.AddBlock(Exists, []Var{4})
+	if len(p.Prefix) != 3 {
+		t.Fatalf("blocks not merged: %+v", p.Prefix)
+	}
+	if len(p.Prefix[0].Vars) != 2 {
+		t.Fatalf("merge lost a variable")
+	}
+}
+
+func TestPCNFQuantOf(t *testing.T) {
+	p := NewPCNF()
+	p.Matrix.EnsureVars(3)
+	p.AddBlock(Exists, []Var{1})
+	p.AddBlock(Forall, []Var{2})
+	if q, i := p.QuantOf(2); q != Forall || i != 1 {
+		t.Fatalf("QuantOf(2) = %v,%d", q, i)
+	}
+	if q, i := p.QuantOf(3); q != Exists || i != -1 {
+		t.Fatalf("QuantOf(free) = %v,%d", q, i)
+	}
+}
+
+func TestPCNFValidate(t *testing.T) {
+	p := NewPCNF()
+	p.Matrix.EnsureVars(2)
+	p.AddBlock(Exists, []Var{1})
+	p.AddBlock(Forall, []Var{2})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid PCNF rejected: %v", err)
+	}
+	p2 := NewPCNF()
+	p2.Matrix.EnsureVars(2)
+	p2.AddBlock(Exists, []Var{1})
+	p2.AddBlock(Forall, []Var{1})
+	if err := p2.Validate(); err == nil {
+		t.Fatalf("double quantification not rejected")
+	}
+	p3 := NewPCNF()
+	p3.Matrix.EnsureVars(1)
+	p3.AddBlock(Exists, []Var{5})
+	if err := p3.Validate(); err == nil {
+		t.Fatalf("out-of-range prefix variable not rejected")
+	}
+}
+
+func TestParseQDIMACSFreeVars(t *testing.T) {
+	in := "p cnf 3 1\ne 1 0\na 2 0\n1 2 -3 0\n"
+	p, err := ParseQDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, _ := p.QuantOf(3); q != Exists {
+		t.Fatalf("free variable should default to existential")
+	}
+}

@@ -1,0 +1,249 @@
+package cnf
+
+import "sort"
+
+// PreprocessStats reports what Preprocess did.
+type PreprocessStats struct {
+	SubsumedClauses int
+	EliminatedVars  int
+	AddedResolvents int
+	Result          SimplifyResult
+}
+
+// PreprocessOptions bound the effort.
+type PreprocessOptions struct {
+	// MaxOccurrences skips variable elimination for variables occurring
+	// more often than this in either polarity (default 10).
+	MaxOccurrences int
+	// MaxResolventGrowth allows elimination only when the number of
+	// kept resolvents does not exceed the number of removed clauses
+	// plus this slack (default 0: never grow the formula).
+	MaxResolventGrowth int
+}
+
+func (o PreprocessOptions) withDefaults() PreprocessOptions {
+	if o.MaxOccurrences == 0 {
+		o.MaxOccurrences = 10
+	}
+	return o
+}
+
+// Preprocess simplifies the formula with top-level propagation,
+// subsumption, and bounded variable elimination (the NiVER/SatELite
+// family of techniques). Variables in protect are never eliminated, so a
+// model of the result assigns them exactly as some model of the original
+// formula would — the property BMC needs to read witnesses off protected
+// state and input variables. The formula is rewritten in place.
+func (f *Formula) Preprocess(protect []Var, opts PreprocessOptions) PreprocessStats {
+	opts = opts.withDefaults()
+	var st PreprocessStats
+
+	protected := make([]bool, f.NumVars()+1)
+	for _, v := range protect {
+		if int(v) < len(protected) {
+			protected[v] = true
+		}
+	}
+
+	// simplify propagates top-level units, which removes them from the
+	// clause set; constraints on protected variables must be reinstated
+	// so their model values survive preprocessing.
+	simplify := func() SimplifyResult {
+		res, units := f.Simplify()
+		if res == SimplifyUnknown || res == SimplifySat {
+			for _, v := range protect {
+				switch units.Get(v) {
+				case True:
+					f.AddUnit(PosLit(v))
+				case False:
+					f.AddUnit(NegLit(v))
+				}
+			}
+		}
+		return res
+	}
+
+	st.Result = simplify()
+	if st.Result == SimplifyUnsat {
+		return st
+	}
+
+	for round := 0; round < 4; round++ {
+		changed := false
+		st.SubsumedClauses += f.subsume()
+		elim, added, any := f.eliminateVars(protected, opts)
+		st.EliminatedVars += elim
+		st.AddedResolvents += added
+		changed = changed || any || elim > 0
+		st.Result = simplify()
+		if st.Result == SimplifyUnsat {
+			return st
+		}
+		if !changed {
+			break
+		}
+	}
+	return st
+}
+
+// subsume removes clauses that are supersets of other clauses. Clauses
+// are assumed normalized (Simplify normalizes them).
+func (f *Formula) subsume() int {
+	type entry struct {
+		idx int
+	}
+	// Occurrence lists by literal.
+	occ := make(map[Lit][]int)
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			occ[l] = append(occ[l], i)
+		}
+	}
+	removed := make([]bool, len(f.Clauses))
+	order := make([]int, len(f.Clauses))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(f.Clauses[order[a]]) < len(f.Clauses[order[b]])
+	})
+	count := 0
+	for _, i := range order {
+		if removed[i] {
+			continue
+		}
+		c := f.Clauses[i]
+		// Scan candidates through the least-frequent literal of c.
+		best := c[0]
+		for _, l := range c[1:] {
+			if len(occ[l]) < len(occ[best]) {
+				best = l
+			}
+		}
+		for _, j := range occ[best] {
+			if j == i || removed[j] || len(f.Clauses[j]) < len(c) {
+				continue
+			}
+			if subsumes(c, f.Clauses[j]) {
+				removed[j] = true
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		kept := f.Clauses[:0]
+		for i, c := range f.Clauses {
+			if !removed[i] {
+				kept = append(kept, c)
+			}
+		}
+		f.Clauses = kept
+	}
+	return count
+}
+
+// subsumes reports whether every literal of small occurs in big. Both
+// clauses must be sorted (Normalize order).
+func subsumes(small, big Clause) bool {
+	i, j := 0, 0
+	for i < len(small) && j < len(big) {
+		switch {
+		case small[i] == big[j]:
+			i++
+			j++
+		case small[i] > big[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(small)
+}
+
+// eliminateVars performs bounded variable elimination by distribution.
+func (f *Formula) eliminateVars(protected []bool, opts PreprocessOptions) (elim, added int, changed bool) {
+	for v := Var(1); int(v) <= f.NumVars(); v++ {
+		if int(v) < len(protected) && protected[v] {
+			continue
+		}
+		var pos, neg []int
+		for i, c := range f.Clauses {
+			for _, l := range c {
+				if l.Var() == v {
+					if l.IsNeg() {
+						neg = append(neg, i)
+					} else {
+						pos = append(pos, i)
+					}
+					break
+				}
+			}
+		}
+		if len(pos) == 0 && len(neg) == 0 {
+			continue
+		}
+		if len(pos) > opts.MaxOccurrences || len(neg) > opts.MaxOccurrences {
+			continue
+		}
+		// Build resolvents on v.
+		var resolvents []Clause
+		tooMany := false
+		limit := len(pos) + len(neg) + opts.MaxResolventGrowth
+		for _, pi := range pos {
+			for _, ni := range neg {
+				r, taut := resolve(f.Clauses[pi], f.Clauses[ni], v)
+				if taut {
+					continue
+				}
+				resolvents = append(resolvents, r)
+				if len(resolvents) > limit {
+					tooMany = true
+					break
+				}
+			}
+			if tooMany {
+				break
+			}
+		}
+		if tooMany {
+			continue
+		}
+		// Apply: drop clauses containing v, add resolvents.
+		drop := make(map[int]bool, len(pos)+len(neg))
+		for _, i := range pos {
+			drop[i] = true
+		}
+		for _, i := range neg {
+			drop[i] = true
+		}
+		kept := make([]Clause, 0, len(f.Clauses)-len(drop)+len(resolvents))
+		for i, c := range f.Clauses {
+			if !drop[i] {
+				kept = append(kept, c)
+			}
+		}
+		kept = append(kept, resolvents...)
+		f.Clauses = kept
+		elim++
+		added += len(resolvents)
+		changed = true
+	}
+	return elim, added, changed
+}
+
+// resolve computes the resolvent of a (containing v) and b (containing
+// ¬v), reporting tautologies.
+func resolve(a, b Clause, v Var) (Clause, bool) {
+	out := make(Clause, 0, len(a)+len(b)-2)
+	for _, l := range a {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range b {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	return out.Normalize()
+}

@@ -1,0 +1,164 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteSat enumerates all assignments of f restricted to vars 1..n.
+func bruteSat(f *Formula, n int) bool {
+	for bits := 0; bits < 1<<uint(n); bits++ {
+		a := NewAssignment(n)
+		for v := 1; v <= n; v++ {
+			a.Set(Var(v), BoolValue(bits>>(v-1)&1 == 1))
+		}
+		if f.Eval(a) == StatusSatisfied {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSubsumeBasic(t *testing.T) {
+	f := NewFormula(3)
+	f.Add(PosLit(1), PosLit(2))
+	f.Add(PosLit(1), PosLit(2), NegLit(3)) // subsumed by the first
+	f.Add(NegLit(1), PosLit(3))
+	n := f.subsume()
+	if n != 1 || f.NumClauses() != 2 {
+		t.Fatalf("subsume removed %d clauses, have %d", n, f.NumClauses())
+	}
+}
+
+func TestSubsumesOrder(t *testing.T) {
+	small := Clause{PosLit(1), NegLit(3)}
+	big := Clause{PosLit(1), PosLit(2), NegLit(3)}
+	sortClauses(small, big)
+	if !subsumes(small, big) {
+		t.Fatalf("subset not detected")
+	}
+	if subsumes(big, small) {
+		t.Fatalf("superset wrongly subsumes")
+	}
+}
+
+func sortClauses(cs ...Clause) {
+	for _, c := range cs {
+		c.Normalize()
+	}
+}
+
+func TestEliminatePureAuxVar(t *testing.T) {
+	// aux ↔ (x ∧ y): eliminating aux leaves constraints over x,y only.
+	f := NewFormula(3)
+	x, y, aux := Var(1), Var(2), Var(3)
+	f.Add(NegLit(aux), PosLit(x))
+	f.Add(NegLit(aux), PosLit(y))
+	f.Add(PosLit(aux), NegLit(x), NegLit(y))
+	f.Add(PosLit(aux), PosLit(x)) // keeps aux from vanishing trivially
+	st := f.Preprocess([]Var{x, y}, PreprocessOptions{})
+	if st.EliminatedVars == 0 {
+		t.Fatalf("aux var not eliminated: %+v", st)
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if l.Var() == aux {
+				t.Fatalf("eliminated var still present: %v", f.Clauses)
+			}
+		}
+	}
+}
+
+func TestPreprocessPreservesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for iter := 0; iter < 300; iter++ {
+		n := 4 + rng.Intn(6)
+		f := randomFormula(rng, n, 3+rng.Intn(4*n))
+		orig := f.Clone()
+		want := bruteSat(orig, n)
+
+		// Protect a random subset (as BMC protects state vars).
+		var protect []Var
+		for v := 1; v <= n; v++ {
+			if rng.Intn(2) == 0 {
+				protect = append(protect, Var(v))
+			}
+		}
+		st := f.Preprocess(protect, PreprocessOptions{})
+		var got bool
+		switch st.Result {
+		case SimplifySat:
+			got = true
+		case SimplifyUnsat:
+			got = false
+		default:
+			got = bruteSat(f, n)
+		}
+		if got != want {
+			t.Fatalf("iter %d: preprocess changed satisfiability: want %v got %v\norig %v\nafter %v",
+				iter, want, got, orig.Clauses, f.Clauses)
+		}
+	}
+}
+
+// TestPreprocessProtectedModelsExtend checks the witness property: every
+// model of the preprocessed formula, restricted to protected vars,
+// extends to a model of the original.
+func TestPreprocessProtectedModelsExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		n := 5 + rng.Intn(4)
+		f := randomFormula(rng, n, 2+rng.Intn(3*n))
+		orig := f.Clone()
+		// Protect the first half of the variables.
+		var protect []Var
+		for v := 1; v <= n/2; v++ {
+			protect = append(protect, Var(v))
+		}
+		st := f.Preprocess(protect, PreprocessOptions{})
+		if st.Result != SimplifyUnknown {
+			continue
+		}
+		// For every model of the preprocessed formula over all n vars...
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			a := NewAssignment(n)
+			for v := 1; v <= n; v++ {
+				a.Set(Var(v), BoolValue(bits>>(v-1)&1 == 1))
+			}
+			if f.Eval(a) != StatusSatisfied {
+				continue
+			}
+			// ...the protected part must extend to an original model.
+			extends := false
+			free := n - n/2
+			for ext := 0; ext < 1<<uint(free); ext++ {
+				b := NewAssignment(n)
+				for v := 1; v <= n/2; v++ {
+					b.Set(Var(v), a.Get(Var(v)))
+				}
+				for v := n/2 + 1; v <= n; v++ {
+					b.Set(Var(v), BoolValue(ext>>(uint(v)-uint(n/2)-1)&1 == 1))
+				}
+				if orig.Eval(b) == StatusSatisfied {
+					extends = true
+					break
+				}
+			}
+			if !extends {
+				t.Fatalf("iter %d: protected model does not extend\norig %v\nafter %v",
+					iter, orig.Clauses, f.Clauses)
+			}
+		}
+	}
+}
+
+func TestPreprocessDetectsUnsat(t *testing.T) {
+	f := NewFormula(2)
+	f.Add(PosLit(1))
+	f.Add(NegLit(1), PosLit(2))
+	f.Add(NegLit(1), NegLit(2))
+	st := f.Preprocess(nil, PreprocessOptions{})
+	if st.Result != SimplifyUnsat {
+		t.Fatalf("unsat not detected: %+v", st)
+	}
+}

@@ -1,0 +1,235 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Quant is a quantifier kind.
+type Quant uint8
+
+// Quantifier kinds.
+const (
+	Exists Quant = iota
+	Forall
+)
+
+// String returns "e" or "a", the QDIMACS spellings.
+func (q Quant) String() string {
+	if q == Forall {
+		return "a"
+	}
+	return "e"
+}
+
+// Block is one quantifier block of a prenex prefix: a run of variables
+// under the same quantifier.
+type Block struct {
+	Quant Quant
+	Vars  []Var
+}
+
+// PCNF is a prenex-CNF quantified Boolean formula. Variables of the
+// matrix that do not occur in the prefix are implicitly existentially
+// quantified in the innermost block (the QDIMACS convention for free
+// variables is outermost-existential; the encoders in this repository
+// always produce closed formulas, so the distinction never arises there).
+type PCNF struct {
+	Prefix []Block
+	Matrix *Formula
+}
+
+// NewPCNF returns an empty PCNF with an empty matrix.
+func NewPCNF() *PCNF { return &PCNF{Matrix: &Formula{}} }
+
+// AddBlock appends a quantifier block. Adjacent blocks with the same
+// quantifier are merged, keeping the prefix in strictly alternating form.
+func (p *PCNF) AddBlock(q Quant, vars []Var) {
+	if len(vars) == 0 {
+		return
+	}
+	if n := len(p.Prefix); n > 0 && p.Prefix[n-1].Quant == q {
+		p.Prefix[n-1].Vars = append(p.Prefix[n-1].Vars, vars...)
+		return
+	}
+	vs := make([]Var, len(vars))
+	copy(vs, vars)
+	p.Prefix = append(p.Prefix, Block{Quant: q, Vars: vs})
+}
+
+// Alternations returns the number of quantifier alternations in the
+// prefix (one less than the number of blocks, 0 for empty prefixes).
+// Formula (3) of the paper grows this number with every squaring step;
+// formula (2) keeps it fixed at 2 (∃∀∃).
+func (p *PCNF) Alternations() int {
+	if len(p.Prefix) == 0 {
+		return 0
+	}
+	return len(p.Prefix) - 1
+}
+
+// NumUniversals returns the number of universally quantified variables.
+func (p *PCNF) NumUniversals() int {
+	n := 0
+	for _, b := range p.Prefix {
+		if b.Quant == Forall {
+			n += len(b.Vars)
+		}
+	}
+	return n
+}
+
+// QuantOf returns the quantifier of v and its block index. Unprefixed
+// variables report (Exists, -1), the free-variable convention.
+func (p *PCNF) QuantOf(v Var) (Quant, int) {
+	for i, b := range p.Prefix {
+		for _, bv := range b.Vars {
+			if bv == v {
+				return b.Quant, i
+			}
+		}
+	}
+	return Exists, -1
+}
+
+// Validate checks structural sanity: no variable may occur in two blocks,
+// and every prefix variable must be within the declared matrix variables.
+func (p *PCNF) Validate() error {
+	seen := make(map[Var]bool)
+	for i, b := range p.Prefix {
+		if len(b.Vars) == 0 {
+			return fmt.Errorf("cnf: empty quantifier block %d", i)
+		}
+		for _, v := range b.Vars {
+			if v == NoVar {
+				return fmt.Errorf("cnf: block %d quantifies variable 0", i)
+			}
+			if seen[v] {
+				return fmt.Errorf("cnf: variable %d quantified twice", v)
+			}
+			seen[v] = true
+			if int(v) > p.Matrix.NumVars() {
+				return fmt.Errorf("cnf: prefix variable %d exceeds matrix variables %d", v, p.Matrix.NumVars())
+			}
+		}
+	}
+	return nil
+}
+
+// SizeBytes estimates the total memory footprint: matrix plus prefix.
+func (p *PCNF) SizeBytes() int {
+	n := p.Matrix.SizeBytes()
+	for _, b := range p.Prefix {
+		n += 4*len(b.Vars) + 32
+	}
+	return n
+}
+
+// WriteQDIMACS writes p in QDIMACS format.
+func (p *PCNF) WriteQDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", p.Matrix.numVars, len(p.Matrix.Clauses)); err != nil {
+		return err
+	}
+	for _, b := range p.Prefix {
+		if _, err := bw.WriteString(b.Quant.String()); err != nil {
+			return err
+		}
+		for _, v := range b.Vars {
+			if _, err := fmt.Fprintf(bw, " %d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(" 0\n"); err != nil {
+			return err
+		}
+	}
+	for _, c := range p.Matrix.Clauses {
+		if err := writeClause(bw, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseQDIMACS reads a QDIMACS file.
+func ParseQDIMACS(r io.Reader) (*PCNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	p := NewPCNF()
+	declaredVars := -1
+	declaredClauses := -1
+	inPrefix := true
+	var cur Clause
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", line, text)
+			}
+			var err error
+			if declaredVars, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count: %v", line, err)
+			}
+			if declaredClauses, err = strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad clause count: %v", line, err)
+			}
+			p.Matrix.EnsureVars(declaredVars)
+			continue
+		}
+		if declaredVars < 0 {
+			return nil, fmt.Errorf("cnf: line %d: content before problem line", line)
+		}
+		if inPrefix && (strings.HasPrefix(text, "a ") || strings.HasPrefix(text, "e ")) {
+			q := Exists
+			if text[0] == 'a' {
+				q = Forall
+			}
+			var vars []Var
+			for _, tok := range strings.Fields(text)[1:] {
+				d, err := strconv.Atoi(tok)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("cnf: line %d: bad prefix variable %q", line, tok)
+				}
+				if d == 0 {
+					break
+				}
+				vars = append(vars, Var(d))
+			}
+			p.AddBlock(q, vars)
+			continue
+		}
+		inPrefix = false
+		for _, tok := range strings.Fields(text) {
+			d, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q", line, tok)
+			}
+			if d == 0 {
+				p.Matrix.AddClause(cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, LitFromDimacs(d))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("cnf: unterminated clause at end of input")
+	}
+	if declaredClauses >= 0 && len(p.Matrix.Clauses) != declaredClauses {
+		return nil, fmt.Errorf("cnf: declared %d clauses but found %d", declaredClauses, len(p.Matrix.Clauses))
+	}
+	return p, nil
+}

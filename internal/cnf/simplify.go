@@ -1,0 +1,97 @@
+package cnf
+
+// SimplifyResult reports the outcome of top-level simplification.
+type SimplifyResult uint8
+
+// Outcomes of Simplify.
+const (
+	SimplifyUnknown SimplifyResult = iota // formula still has clauses
+	SimplifySat                           // all clauses eliminated: satisfiable by the returned units
+	SimplifyUnsat                         // a contradiction was derived
+)
+
+// Simplify performs top-level (decision-level-0) preprocessing:
+// tautology removal, duplicate-literal removal, and unit propagation to
+// fixpoint. It rewrites f in place and returns the derived unit
+// assignment. Clauses satisfied by propagated units are dropped and false
+// literals are removed from the remaining clauses.
+func (f *Formula) Simplify() (SimplifyResult, Assignment) {
+	assign := NewAssignment(f.NumVars())
+	var queue []Lit
+
+	enqueue := func(l Lit) bool {
+		switch assign.Lit(l) {
+		case True:
+			return true
+		case False:
+			return false
+		}
+		assign.Set(l.Var(), BoolValue(!l.IsNeg()))
+		queue = append(queue, l)
+		return true
+	}
+
+	// First pass: normalize clauses, collect initial units.
+	kept := f.Clauses[:0]
+	for _, c := range f.Clauses {
+		nc, taut := c.Normalize()
+		if taut {
+			continue
+		}
+		if len(nc) == 0 {
+			f.Clauses = nil
+			return SimplifyUnsat, assign
+		}
+		if len(nc) == 1 {
+			if !enqueue(nc[0]) {
+				f.Clauses = nil
+				return SimplifyUnsat, assign
+			}
+			continue
+		}
+		kept = append(kept, nc)
+	}
+	f.Clauses = kept
+
+	// Propagate to fixpoint. Simple repeated scanning is fine at this
+	// scale: Simplify is used for preprocessing, not inside the solvers.
+	changed := len(queue) > 0
+	for changed {
+		changed = false
+		kept = f.Clauses[:0]
+		for _, c := range f.Clauses {
+			switch c.StatusUnder(assign) {
+			case StatusSatisfied:
+				changed = true
+				continue
+			case StatusFalsified:
+				f.Clauses = nil
+				return SimplifyUnsat, assign
+			}
+			// Strip false literals.
+			reduced := c[:0]
+			for _, l := range c {
+				if assign.Lit(l) != False {
+					reduced = append(reduced, l)
+				}
+			}
+			if len(reduced) < len(c) {
+				changed = true
+			}
+			if len(reduced) == 1 {
+				if !enqueue(reduced[0]) {
+					f.Clauses = nil
+					return SimplifyUnsat, assign
+				}
+				continue
+			}
+			kept = append(kept, reduced)
+		}
+		f.Clauses = kept
+	}
+
+	if len(f.Clauses) == 0 {
+		return SimplifySat, assign
+	}
+	return SimplifyUnknown, assign
+}

@@ -1,0 +1,273 @@
+// Package explicit is a brute-force explicit-state reachability checker
+// for small systems (≤ ~24 latches, ≤ ~16 inputs). It enumerates the
+// state graph breadth-first and answers exactly the questions the BMC
+// engines answer, serving as the ground-truth oracle in the cross-engine
+// integration tests and as the diameter calculator for the squaring
+// experiments.
+package explicit
+
+import (
+	"fmt"
+
+	"repro/internal/aig"
+	"repro/internal/model"
+)
+
+// stateKey packs a latch valuation into a uint64.
+type stateKey uint64
+
+func keyOf(state []bool) stateKey {
+	var k stateKey
+	for i, b := range state {
+		if b {
+			k |= 1 << uint(i)
+		}
+	}
+	return k
+}
+
+func unkey(k stateKey, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = k>>uint(i)&1 == 1
+	}
+	return out
+}
+
+// Checker runs explicit-state queries against one system.
+type Checker struct {
+	sys  *model.System
+	eval *aig.Evaluator
+	n    int // latches
+	ni   int // inputs
+}
+
+// New builds a checker. It panics when the system is too large to
+// enumerate (a programming error in tests).
+func New(sys *model.System) *Checker {
+	n := sys.NumStateVars()
+	ni := sys.NumInputs()
+	if n > 24 {
+		panic(fmt.Sprintf("explicit: %d latches is too many to enumerate", n))
+	}
+	if ni > 16 {
+		panic(fmt.Sprintf("explicit: %d inputs is too many to enumerate", ni))
+	}
+	return &Checker{sys: sys, eval: aig.NewEvaluator(sys.Circ), n: n, ni: ni}
+}
+
+// initialKeys enumerates all initial states (free latches expanded).
+func (c *Checker) initialKeys() []stateKey {
+	ivs := c.sys.InitValues()
+	var frees []int
+	var base stateKey
+	for i, iv := range ivs {
+		if !iv.Constrained {
+			frees = append(frees, i)
+		} else if iv.Value {
+			base |= 1 << uint(i)
+		}
+	}
+	out := make([]stateKey, 0, 1<<uint(len(frees)))
+	for bits := 0; bits < 1<<uint(len(frees)); bits++ {
+		k := base
+		for j, fi := range frees {
+			if bits>>uint(j)&1 == 1 {
+				k |= 1 << uint(fi)
+			}
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// badUnder reports whether the bad predicate holds in the given state
+// under some input valuation.
+func (c *Checker) badUnder(k stateKey) bool {
+	state := unkey(k, c.n)
+	for in := 0; in < 1<<uint(c.ni); in++ {
+		inputs := make([]bool, c.ni)
+		for j := range inputs {
+			inputs[j] = in>>uint(j)&1 == 1
+		}
+		iw := make([]aig.Word, c.ni)
+		for j, b := range inputs {
+			if b {
+				iw[j] = 1
+			}
+		}
+		sw := make([]aig.Word, c.n)
+		for j, b := range state {
+			if b {
+				sw[j] = 1
+			}
+		}
+		c.eval.Run(iw, sw)
+		if c.eval.LitBool(c.sys.Bad) {
+			return true
+		}
+	}
+	return false
+}
+
+// successors returns the dedup'd successor keys of k over all inputs.
+func (c *Checker) successors(k stateKey) []stateKey {
+	state := unkey(k, c.n)
+	seen := make(map[stateKey]bool)
+	var out []stateKey
+	for in := 0; in < 1<<uint(c.ni); in++ {
+		inputs := make([]bool, c.ni)
+		for j := range inputs {
+			inputs[j] = in>>uint(j)&1 == 1
+		}
+		next, _ := c.eval.StepBool(inputs, state)
+		nk := keyOf(next)
+		if !seen[nk] {
+			seen[nk] = true
+			out = append(out, nk)
+		}
+	}
+	return out
+}
+
+// ReachableExact reports whether a bad state is reachable in exactly k
+// steps (bad evaluated in the arrival state, over some input valuation).
+func (c *Checker) ReachableExact(k int) bool {
+	layer := make(map[stateKey]bool)
+	for _, ik := range c.initialKeys() {
+		layer[ik] = true
+	}
+	for step := 0; step < k; step++ {
+		next := make(map[stateKey]bool)
+		for sk := range layer {
+			for _, nk := range c.successors(sk) {
+				next[nk] = true
+			}
+		}
+		layer = next
+	}
+	for sk := range layer {
+		if c.badUnder(sk) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReachableWithin reports whether a bad state is reachable in at most k
+// steps.
+func (c *Checker) ReachableWithin(k int) bool {
+	visited := make(map[stateKey]bool)
+	frontier := make(map[stateKey]bool)
+	for _, ik := range c.initialKeys() {
+		frontier[ik] = true
+		visited[ik] = true
+	}
+	for step := 0; step <= k; step++ {
+		for sk := range frontier {
+			if c.badUnder(sk) {
+				return true
+			}
+		}
+		if step == k {
+			break
+		}
+		next := make(map[stateKey]bool)
+		for sk := range frontier {
+			for _, nk := range c.successors(sk) {
+				if !visited[nk] {
+					visited[nk] = true
+					next[nk] = true
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return false
+}
+
+// Diameter returns the forward radius of the reachable state space: the
+// smallest d such that every reachable state is reachable within d steps.
+func (c *Checker) Diameter() int {
+	visited := make(map[stateKey]bool)
+	frontier := make(map[stateKey]bool)
+	for _, ik := range c.initialKeys() {
+		frontier[ik] = true
+		visited[ik] = true
+	}
+	d := 0
+	for {
+		next := make(map[stateKey]bool)
+		for sk := range frontier {
+			for _, nk := range c.successors(sk) {
+				if !visited[nk] {
+					visited[nk] = true
+					next[nk] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return d
+		}
+		frontier = next
+		d++
+	}
+}
+
+// ShortestCounterexample returns the smallest k with a bad state
+// reachable in exactly k steps, or -1 when none exists (searching up to
+// the full state space).
+func (c *Checker) ShortestCounterexample() int {
+	visited := make(map[stateKey]bool)
+	frontier := make(map[stateKey]bool)
+	for _, ik := range c.initialKeys() {
+		frontier[ik] = true
+		visited[ik] = true
+	}
+	for k := 0; ; k++ {
+		for sk := range frontier {
+			if c.badUnder(sk) {
+				return k
+			}
+		}
+		next := make(map[stateKey]bool)
+		for sk := range frontier {
+			for _, nk := range c.successors(sk) {
+				if !visited[nk] {
+					visited[nk] = true
+					next[nk] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return -1
+		}
+		frontier = next
+	}
+}
+
+// NumReachable counts the reachable states (diagnostics for benchmarks).
+func (c *Checker) NumReachable() int {
+	visited := make(map[stateKey]bool)
+	frontier := []stateKey{}
+	for _, ik := range c.initialKeys() {
+		if !visited[ik] {
+			visited[ik] = true
+			frontier = append(frontier, ik)
+		}
+	}
+	for len(frontier) > 0 {
+		sk := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, nk := range c.successors(sk) {
+			if !visited[nk] {
+				visited[nk] = true
+				frontier = append(frontier, nk)
+			}
+		}
+	}
+	return len(visited)
+}

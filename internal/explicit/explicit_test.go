@@ -1,0 +1,148 @@
+package explicit
+
+import (
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/model"
+)
+
+func counterSystem(n int, target uint64) *model.System {
+	g := aig.New()
+	state := make([]aig.Lit, n)
+	for i := range state {
+		state[i] = g.AddLatch("", aig.Init0)
+	}
+	next, _ := g.IncVec(state)
+	for i := range state {
+		g.SetNext(state[i], next[i])
+	}
+	g.AddOutput("bad", g.EqConst(state, target))
+	return model.New("counter", g, 0)
+}
+
+// toggleWithInput builds a 1-latch system whose latch toggles when the
+// input is high; bad when latch is 1.
+func toggleWithInput() *model.System {
+	g := aig.New()
+	in := g.AddInput("en")
+	l := g.AddLatch("t", aig.Init0)
+	g.SetNext(l, g.Xor(l, in))
+	g.AddOutput("bad", l)
+	return model.New("toggle", g, 0)
+}
+
+func TestCounterExact(t *testing.T) {
+	c := New(counterSystem(4, 9))
+	for k := 0; k <= 12; k++ {
+		want := k == 9
+		if got := c.ReachableExact(k); got != want {
+			t.Fatalf("exact k=%d: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestCounterWithin(t *testing.T) {
+	c := New(counterSystem(4, 9))
+	for k := 0; k <= 12; k++ {
+		want := k >= 9
+		if got := c.ReachableWithin(k); got != want {
+			t.Fatalf("within k=%d: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestCounterWrapsExact(t *testing.T) {
+	// 3-bit counter, target 2: reachable at exactly 2, 10, 18, ... and
+	// at no other depth.
+	c := New(counterSystem(3, 2))
+	for k := 0; k <= 20; k++ {
+		want := k >= 2 && (k-2)%8 == 0
+		if got := c.ReachableExact(k); got != want {
+			t.Fatalf("exact k=%d: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestInputDrivenReachability(t *testing.T) {
+	c := New(toggleWithInput())
+	// k=0: latch is 0, bad false. k>=1: can toggle to 1.
+	if c.ReachableExact(0) {
+		t.Fatalf("bad at init?")
+	}
+	for k := 1; k <= 4; k++ {
+		if !c.ReachableExact(k) {
+			t.Fatalf("should reach bad at k=%d via inputs", k)
+		}
+	}
+}
+
+func TestUninitializedLatchInitialStates(t *testing.T) {
+	g := aig.New()
+	l := g.AddLatch("x", aig.InitX)
+	g.SetNext(l, l)
+	g.AddOutput("bad", l)
+	c := New(model.New("freeinit", g, 0))
+	// Some initial state (x=1) is already bad.
+	if !c.ReachableExact(0) {
+		t.Fatalf("free-init latch should allow bad at k=0")
+	}
+}
+
+func TestBadReadsInputs(t *testing.T) {
+	// bad = input (no latches needed): reachable at every k including 0.
+	g := aig.New()
+	in := g.AddInput("i")
+	l := g.AddLatch("dummy", aig.Init0)
+	g.SetNext(l, l)
+	g.AddOutput("bad", in)
+	c := New(model.New("inputbad", g, 0))
+	for k := 0; k <= 3; k++ {
+		if !c.ReachableExact(k) {
+			t.Fatalf("input-driven bad should hold at k=%d", k)
+		}
+	}
+}
+
+func TestDiameterAndShortest(t *testing.T) {
+	c := New(counterSystem(3, 5))
+	if d := c.Diameter(); d != 7 {
+		t.Fatalf("3-bit counter diameter = %d, want 7", d)
+	}
+	if s := c.ShortestCounterexample(); s != 5 {
+		t.Fatalf("shortest cex = %d, want 5", s)
+	}
+	if n := c.NumReachable(); n != 8 {
+		t.Fatalf("reachable states = %d, want 8", n)
+	}
+}
+
+func TestUnreachableShortest(t *testing.T) {
+	// 2-bit counter that never reaches 5 (out of range -> bad never).
+	g := aig.New()
+	state := []aig.Lit{g.AddLatch("", aig.Init0), g.AddLatch("", aig.Init0)}
+	next, _ := g.IncVec(state)
+	g.SetNext(state[0], next[0])
+	g.SetNext(state[1], next[1])
+	// bad = state==3 AND also state==0 simultaneously: impossible.
+	bad := g.And(g.EqConst(state, 3), g.EqConst(state, 0))
+	g.AddOutput("bad", bad)
+	c := New(model.New("never", g, 0))
+	if s := c.ShortestCounterexample(); s != -1 {
+		t.Fatalf("impossible bad found at %d", s)
+	}
+}
+
+func TestSelfLoopSemanticBridge(t *testing.T) {
+	// ReachableExact on the self-looped system == ReachableWithin on the
+	// original: the equivalence the encoders rely on.
+	sys := counterSystem(3, 5)
+	loop := model.AddSelfLoop(sys)
+	c0 := New(sys)
+	cl := New(loop)
+	for k := 0; k <= 10; k++ {
+		if c0.ReachableWithin(k) != cl.ReachableExact(k) {
+			t.Fatalf("k=%d: ≤k on original disagrees with exact-k on self-looped", k)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package induction implements k-induction, the bounded-proof
+// completion technique the paper's introduction positions against
+// (“induction based methods provide another technique for estimating
+// whether a bound is sufficient to ensure a full proof”). Together with
+// the BMC engines it turns bounded checks into full safety proofs:
+//
+//   - base(k): a bad state is reachable from an initial state within k
+//     steps — decided by BMC; a hit is a real counterexample.
+//   - step(k): any path of k+1 bad-free states (initial or not) cannot
+//     be extended to a bad state. If this holds — it is an UNSAT check —
+//     the property holds at every depth.
+//
+// Plain induction is incomplete: a loop of unreachable bad-adjacent
+// states defeats it at every k. The classical fix, also implemented
+// here, is the simple-path (uniqueness) constraint: all states on the
+// step-case path must be pairwise distinct, which bounds the induction
+// depth by the recurrence diameter.
+package induction
+
+import (
+	"repro/internal/bmc"
+	"repro/internal/cnf"
+	"repro/internal/model"
+	"repro/internal/sat"
+	"repro/internal/tseitin"
+)
+
+// Status is the outcome of an induction proof attempt.
+type Status uint8
+
+// Proof outcomes.
+const (
+	Unknown   Status = iota // budget or depth limit exhausted
+	Proved                  // safe at every depth
+	Falsified               // counterexample found (see Witness)
+)
+
+// String returns "PROVED", "FALSIFIED" or "UNKNOWN".
+func (s Status) String() string {
+	switch s {
+	case Proved:
+		return "PROVED"
+	case Falsified:
+		return "FALSIFIED"
+	}
+	return "UNKNOWN"
+}
+
+// Options configure the proof loop.
+type Options struct {
+	// Mode is the CNF transformation.
+	Mode tseitin.Mode
+	// SAT configures every solver call.
+	SAT sat.Options
+	// SimplePath adds the pairwise-distinct-states constraint to the
+	// step case (on by default in Prove; this flag disables it for the
+	// E5 ablation).
+	DisableSimplePath bool
+}
+
+// Result reports a proof attempt.
+type Result struct {
+	Status  Status
+	K       int          // depth at which the proof or refutation closed
+	Witness *bmc.Witness // populated on Falsified
+}
+
+// Prove runs the k-induction loop for k = 0..maxK.
+func Prove(sys *model.System, maxK int, opts Options) Result {
+	for k := 0; k <= maxK; k++ {
+		// Base case: counterexample of length ≤ k?
+		base := bmc.SolveUnroll(sys, k, bmc.UnrollOptions{
+			Semantics: bmc.AtMost,
+			Mode:      opts.Mode,
+			SAT:       opts.SAT,
+		})
+		switch base.Status {
+		case bmc.Reachable:
+			return Result{Status: Falsified, K: k, Witness: base.Witness}
+		case bmc.Unknown:
+			return Result{Status: Unknown, K: k}
+		}
+		// Step case.
+		switch stepCase(sys, k, opts) {
+		case sat.Unsat:
+			return Result{Status: Proved, K: k}
+		case sat.Unknown:
+			return Result{Status: Unknown, K: k}
+		}
+	}
+	return Result{Status: Unknown, K: maxK}
+}
+
+// stepCase checks satisfiability of
+//
+//	path(Z0..Zk+1) ∧ ¬bad(Z0..Zk) ∧ bad(Zk+1) [∧ all Zi distinct]
+//
+// without the initial-state constraint. Unsat means the property is
+// k-inductive.
+func stepCase(sys *model.System, k int, opts Options) sat.Status {
+	g := sys.Circ
+	n := g.NumLatches()
+	ni := g.NumInputs()
+	f := &cnf.Formula{}
+
+	steps := k + 1 // transitions in the step case
+	stateVars := make([][]cnf.Var, steps+1)
+	inputVars := make([][]cnf.Var, steps+1)
+	for t := 0; t <= steps; t++ {
+		stateVars[t] = f.NewVars(n)
+		inputVars[t] = f.NewVars(ni)
+	}
+
+	latches := g.Latches()
+	badLits := make([]cnf.Lit, steps+1)
+	for t := 0; t <= steps; t++ {
+		enc := tseitin.New(g, f, opts.Mode)
+		for i := 0; i < n; i++ {
+			enc.BindLit(g.LatchLit(i), stateVars[t][i])
+		}
+		for j, il := range g.Inputs() {
+			enc.BindLit(il, inputVars[t][j])
+		}
+		if t < steps {
+			for i := range latches {
+				nl := enc.Lit(latches[i].Next)
+				v := cnf.PosLit(stateVars[t+1][i])
+				f.Add(v.Neg(), nl)
+				f.Add(v, nl.Neg())
+			}
+		}
+		badLits[t] = enc.Lit(sys.Bad)
+	}
+	// Bad-free prefix, bad at the end.
+	for t := 0; t < steps; t++ {
+		f.AddUnit(badLits[t].Neg())
+	}
+	f.AddUnit(badLits[steps])
+
+	if !opts.DisableSimplePath {
+		addSimplePath(f, stateVars[:steps]) // states 0..k pairwise distinct
+	}
+
+	s := sat.New(opts.SAT)
+	for s.NumVars() < f.NumVars() {
+		s.NewVar()
+	}
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			return sat.Unsat
+		}
+	}
+	return s.Solve()
+}
+
+// addSimplePath constrains every pair of state vectors to differ in at
+// least one bit.
+func addSimplePath(f *cnf.Formula, states [][]cnf.Var) {
+	for i := 0; i < len(states); i++ {
+		for j := i + 1; j < len(states); j++ {
+			diff := make([]cnf.Lit, 0, len(states[i]))
+			for b := range states[i] {
+				d := f.NewVar()
+				zi, zj := states[i][b], states[j][b]
+				// (zi ≠ zj) → d
+				f.Add(cnf.PosLit(d), cnf.NegLit(zi), cnf.PosLit(zj))
+				f.Add(cnf.PosLit(d), cnf.PosLit(zi), cnf.NegLit(zj))
+				// d → (zi ≠ zj), so d cannot be set spuriously
+				f.Add(cnf.NegLit(d), cnf.PosLit(zi), cnf.PosLit(zj))
+				f.Add(cnf.NegLit(d), cnf.NegLit(zi), cnf.NegLit(zj))
+				diff = append(diff, cnf.PosLit(d))
+			}
+			f.AddClause(cnf.Clause(diff))
+		}
+	}
+}

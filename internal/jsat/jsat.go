@@ -1,0 +1,300 @@
+// Package jsat implements the paper's special-purpose decision procedure
+// for the QBF bounded-reachability formulation (2). Instead of handing a
+// general-purpose QBF solver the formula
+//
+//	∃Z0..Zk ∀U,V: I(Z0) ∧ F(Zk) ∧ ((⋁ U↔Zᵢ ∧ V↔Zᵢ₊₁) → TR(U,V)),
+//
+// jSAT keeps in memory only the propositional part the paper calls
+// formula (4) — I(Z0) ∧ TR(U,V) ∧ F(Zk) — and maintains the binding of
+// (U,V) to consecutive state pairs implicitly, by sliding a current/next
+// window along the path: a depth-first search in the state graph of the
+// system from the initial states toward the final states.
+//
+// Realization: one incremental CDCL solver holds a single copy of
+// TR(U,V) plus F(V) behind an activation literal; a second small solver
+// holds I(Z) plus F(Z) for enumerating initial states (and for the k=0
+// corner). Successor candidates of the current state are enumerated by
+// solving under assumptions U = s; blocking clauses are guarded by
+// per-frame activation literals that are retired when a frame is popped.
+// States proven unable to reach F within their remaining budget are
+// cached ("hopeless states"), pruning re-exploration across the search —
+// the cache is the subject of ablation E5.
+package jsat
+
+import (
+	"time"
+
+	"repro/internal/bmc"
+	"repro/internal/cnf"
+	"repro/internal/model"
+	"repro/internal/sat"
+	"repro/internal/tseitin"
+)
+
+// Options configure a jSAT run.
+type Options struct {
+	// Semantics selects exactly-k or at-most-k reachability. The
+	// hopeless-state cache is considerably stronger under AtMost,
+	// because hopelessness for r remaining steps then subsumes all
+	// r' ≤ r.
+	Semantics bmc.Semantics
+	// Mode is the CNF transformation for the circuit cones.
+	Mode tseitin.Mode
+	// SAT configures the step solver (per-query budgets apply to each
+	// incremental query).
+	SAT sat.Options
+	// DisableCache turns off the hopeless-state cache (ablation E5).
+	DisableCache bool
+	// QueryBudget, when positive, bounds the total number of SAT
+	// queries across the whole search.
+	QueryBudget int64
+	// Deadline, when non-zero, aborts the search once passed.
+	Deadline time.Time
+}
+
+// Stats summarize a run.
+type Stats struct {
+	Queries      int64 // incremental SAT calls
+	FramesPushed int64
+	CacheHits    int64
+	CacheSize    int
+	PeakBytes    int // high-water estimate of solver memory
+}
+
+// Solver is a reusable jSAT instance for one system. Create with New;
+// Check may be called for several bounds, reusing the learned clauses
+// and the hopeless-state cache where sound.
+type Solver struct {
+	opts  Options
+	Stats Stats
+
+	sys *model.System // prepared (self-looped under AtMost)
+
+	// step solver: TR(U,V) ∧ (actF → F(V)).
+	step   *sat.Solver
+	uVars  []cnf.Var
+	vVars  []cnf.Var
+	wVars  []cnf.Var // TR inputs
+	fwVars []cnf.Var // F-cone inputs
+	actF   cnf.Var
+
+	// init solver: I(Z) ∧ (actBad → F(Z)) over state vars zVars.
+	init   *sat.Solver
+	zVars  []cnf.Var
+	izVars []cnf.Var // F-cone inputs in the init solver
+	actBad cnf.Var
+
+	// hopeless cache: state key -> largest remaining-step count proven
+	// hopeless (AtMost), or set of exact remaining counts (Exact).
+	cacheAtMost map[string]int
+	cacheExact  map[string]map[int]bool
+
+	deadlineHit bool
+}
+
+// frameRec captures one decided step of the path for witness assembly.
+type frameRec struct {
+	state  []bool
+	inputs []bool
+}
+
+// New builds a jSAT solver for sys.
+func New(sys *model.System, opts Options) *Solver {
+	prepared := bmc.Prepare(sys, opts.Semantics)
+	s := &Solver{
+		opts:        opts,
+		sys:         prepared,
+		cacheAtMost: make(map[string]int),
+		cacheExact:  make(map[string]map[int]bool),
+	}
+	s.buildStepSolver()
+	s.buildInitSolver()
+	return s
+}
+
+// System returns the system actually searched (post-transform).
+func (s *Solver) System() *model.System { return s.sys }
+
+func (s *Solver) buildStepSolver() {
+	g := s.sys.Circ
+	n := g.NumLatches()
+	f := &cnf.Formula{}
+
+	s.uVars = f.NewVars(n)
+	s.vVars = f.NewVars(n)
+	s.wVars = f.NewVars(g.NumInputs())
+
+	// TR(U,V): V bits equal the next-state functions over (U, W).
+	enc := tseitin.New(g, f, s.opts.Mode)
+	for i := 0; i < n; i++ {
+		enc.BindLit(g.LatchLit(i), s.uVars[i])
+	}
+	for j, il := range g.Inputs() {
+		enc.BindLit(il, s.wVars[j])
+	}
+	latches := g.Latches()
+	for i := range latches {
+		nl := enc.Lit(latches[i].Next)
+		v := cnf.PosLit(s.vVars[i])
+		f.Add(v.Neg(), nl)
+		f.Add(v, nl.Neg())
+	}
+
+	// F(V) behind the activation literal actF.
+	s.actF = f.NewVar()
+	encF := tseitin.New(g, f, s.opts.Mode)
+	for i := 0; i < n; i++ {
+		encF.BindLit(g.LatchLit(i), s.vVars[i])
+	}
+	s.fwVars = f.NewVars(g.NumInputs())
+	for j, il := range g.Inputs() {
+		encF.BindLit(il, s.fwVars[j])
+	}
+	bad := encF.LitAssert(s.sys.Bad)
+	f.Add(cnf.NegLit(s.actF), bad)
+
+	s.step = sat.New(s.opts.SAT)
+	loadFormula(s.step, f)
+}
+
+func (s *Solver) buildInitSolver() {
+	g := s.sys.Circ
+	n := g.NumLatches()
+	f := &cnf.Formula{}
+	s.zVars = f.NewVars(n)
+	for i, iv := range s.sys.InitValues() {
+		if iv.Constrained {
+			f.AddUnit(cnf.MkLit(s.zVars[i], !iv.Value))
+		}
+	}
+	s.actBad = f.NewVar()
+	enc := tseitin.New(g, f, s.opts.Mode)
+	for i := 0; i < n; i++ {
+		enc.BindLit(g.LatchLit(i), s.zVars[i])
+	}
+	s.izVars = f.NewVars(g.NumInputs())
+	for j, il := range g.Inputs() {
+		enc.BindLit(il, s.izVars[j])
+	}
+	bad := enc.LitAssert(s.sys.Bad)
+	f.Add(cnf.NegLit(s.actBad), bad)
+
+	s.init = sat.New(s.opts.SAT)
+	loadFormula(s.init, f)
+}
+
+func loadFormula(s *sat.Solver, f *cnf.Formula) {
+	for s.NumVars() < f.NumVars() {
+		s.NewVar()
+	}
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			return
+		}
+	}
+}
+
+// MemBytes estimates the solver's live formula memory: the single TR
+// copy, the init/bad cones, the path states, and the caches. This is the
+// paper's space claim made measurable (experiment E3).
+func (s *Solver) MemBytes() int {
+	n := s.step.SizeBytes() + s.init.SizeBytes()
+	n += len(s.cacheAtMost) * 32
+	for _, m := range s.cacheExact {
+		n += 32 + len(m)*16
+	}
+	return n
+}
+
+func (s *Solver) noteMem() {
+	if m := s.MemBytes(); m > s.Stats.PeakBytes {
+		s.Stats.PeakBytes = m
+	}
+}
+
+func keyOf(state []bool) string {
+	b := make([]byte, (len(state)+7)/8)
+	for i, v := range state {
+		if v {
+			b[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return string(b)
+}
+
+func (s *Solver) isHopeless(state []bool, remaining int) bool {
+	if s.opts.DisableCache {
+		return false
+	}
+	k := keyOf(state)
+	if s.opts.Semantics == bmc.AtMost {
+		if r, ok := s.cacheAtMost[k]; ok && remaining <= r {
+			s.Stats.CacheHits++
+			return true
+		}
+		return false
+	}
+	if m, ok := s.cacheExact[k]; ok && m[remaining] {
+		s.Stats.CacheHits++
+		return true
+	}
+	return false
+}
+
+func (s *Solver) markHopeless(state []bool, remaining int) {
+	if s.opts.DisableCache {
+		return
+	}
+	k := keyOf(state)
+	if s.opts.Semantics == bmc.AtMost {
+		if r, ok := s.cacheAtMost[k]; !ok || remaining > r {
+			s.cacheAtMost[k] = remaining
+		}
+		s.Stats.CacheSize = len(s.cacheAtMost)
+		return
+	}
+	m := s.cacheExact[k]
+	if m == nil {
+		m = make(map[int]bool)
+		s.cacheExact[k] = m
+	}
+	m[remaining] = true
+	s.Stats.CacheSize = len(s.cacheExact)
+}
+
+func (s *Solver) budgetExceeded() bool {
+	if s.opts.QueryBudget > 0 && s.Stats.Queries >= s.opts.QueryBudget {
+		return true
+	}
+	if !s.opts.Deadline.IsZero() && s.Stats.Queries%32 == 0 && time.Now().After(s.opts.Deadline) {
+		s.deadlineHit = true
+	}
+	return s.deadlineHit
+}
+
+// assumeState binds the given variable vector to a concrete state.
+func assumeState(vars []cnf.Var, state []bool) []cnf.Lit {
+	out := make([]cnf.Lit, len(vars))
+	for i, v := range vars {
+		out[i] = cnf.MkLit(v, !state[i])
+	}
+	return out
+}
+
+// diffClause returns the clause "V differs from state", guarded by act.
+func diffClause(act cnf.Var, vars []cnf.Var, state []bool) []cnf.Lit {
+	out := make([]cnf.Lit, 0, len(vars)+1)
+	out = append(out, cnf.NegLit(act))
+	for i, v := range vars {
+		out = append(out, cnf.MkLit(v, state[i]))
+	}
+	return out
+}
+
+func (s *Solver) readVars(solver *sat.Solver, vars []cnf.Var) []bool {
+	out := make([]bool, len(vars))
+	for i, v := range vars {
+		out[i] = solver.Value(v) == cnf.True
+	}
+	return out
+}

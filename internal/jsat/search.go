@@ -1,0 +1,153 @@
+package jsat
+
+import (
+	"repro/internal/bmc"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// Check decides whether a bad state is reachable at bound k under the
+// solver's semantics, by depth-first search over concrete states with
+// one incremental transition-relation copy.
+func (s *Solver) Check(k int) (res bmc.Result) {
+	res = bmc.Result{K: k, System: s.sys, Formula: s.formulaStats()}
+	// res is a named return: the deferred updates apply to every exit.
+	defer func() { res.Conflicts = s.step.Stats.Conflicts + s.init.Stats.Conflicts }()
+	defer func() { res.PeakBytes = s.Stats.PeakBytes }()
+
+	if k == 0 {
+		s.Stats.Queries++
+		switch s.init.Solve(cnf.PosLit(s.actBad)) {
+		case sat.Sat:
+			w := &bmc.Witness{K: 0}
+			w.States = [][]bool{s.readVars(s.init, s.zVars)}
+			w.Inputs = [][]bool{s.readVars(s.init, s.izVars)}
+			res.Status = bmc.Reachable
+			res.Witness = w
+		case sat.Unsat:
+			res.Status = bmc.Unreachable
+		default:
+			res.Status = bmc.Unknown
+		}
+		s.noteMem()
+		return res
+	}
+
+	// Enumerate initial states; DFS from each.
+	rootAct := s.init.NewVar()
+	defer s.init.AddClause(cnf.NegLit(rootAct))
+	for {
+		if s.budgetExceeded() {
+			res.Status = bmc.Unknown
+			return res
+		}
+		s.Stats.Queries++
+		st := s.init.Solve(cnf.NegLit(s.actBad), cnf.PosLit(rootAct))
+		s.noteMem()
+		switch st {
+		case sat.Unsat:
+			res.Status = bmc.Unreachable
+			return res
+		case sat.Unknown:
+			res.Status = bmc.Unknown
+			return res
+		}
+		s0 := s.readVars(s.init, s.zVars)
+
+		var path []frameRec
+		sub := s.dfs(s0, k, &path)
+		switch sub {
+		case bmc.Reachable:
+			res.Status = bmc.Reachable
+			res.Witness = s.assembleWitness(k, path)
+			return res
+		case bmc.Unknown:
+			res.Status = bmc.Unknown
+			return res
+		}
+		// This initial state is hopeless; block it and continue.
+		s.init.AddClause(diffClause(rootAct, s.zVars, s0)...)
+	}
+}
+
+// dfs explores from state with `remaining` transitions left. On
+// Reachable, path holds the trace from this state (inclusive) to the bad
+// state, in order.
+func (s *Solver) dfs(state []bool, remaining int, path *[]frameRec) bmc.Status {
+	if s.budgetExceeded() {
+		return bmc.Unknown
+	}
+	if s.isHopeless(state, remaining) {
+		return bmc.Unreachable
+	}
+	s.Stats.FramesPushed++
+
+	if remaining == 1 {
+		// Final step: successor must satisfy F.
+		s.Stats.Queries++
+		st := s.step.Solve(append(assumeState(s.uVars, state), cnf.PosLit(s.actF))...)
+		s.noteMem()
+		switch st {
+		case sat.Sat:
+			*path = append(*path,
+				frameRec{state: state, inputs: s.readVars(s.step, s.wVars)},
+				frameRec{state: s.readVars(s.step, s.vVars), inputs: s.readVars(s.step, s.fwVars)})
+			return bmc.Reachable
+		case sat.Unknown:
+			return bmc.Unknown
+		}
+		s.markHopeless(state, 1)
+		return bmc.Unreachable
+	}
+
+	// Interior step: enumerate successors.
+	act := s.step.NewVar()
+	defer s.step.AddClause(cnf.NegLit(act))
+	assumptions := append(assumeState(s.uVars, state), cnf.NegLit(s.actF), cnf.PosLit(act))
+	for {
+		if s.budgetExceeded() {
+			return bmc.Unknown
+		}
+		s.Stats.Queries++
+		st := s.step.Solve(assumptions...)
+		s.noteMem()
+		switch st {
+		case sat.Unsat:
+			s.markHopeless(state, remaining)
+			return bmc.Unreachable
+		case sat.Unknown:
+			return bmc.Unknown
+		}
+		succ := s.readVars(s.step, s.vVars)
+		inputs := s.readVars(s.step, s.wVars)
+
+		sub := s.dfs(succ, remaining-1, path)
+		switch sub {
+		case bmc.Reachable:
+			// Prepend this frame.
+			*path = append([]frameRec{{state: state, inputs: inputs}}, *path...)
+			return bmc.Reachable
+		case bmc.Unknown:
+			return bmc.Unknown
+		}
+		// Successor exhausted: block it within this frame.
+		s.step.AddClause(diffClause(act, s.vVars, succ)...)
+	}
+}
+
+func (s *Solver) assembleWitness(k int, path []frameRec) *bmc.Witness {
+	w := &bmc.Witness{K: k}
+	for _, fr := range path {
+		w.States = append(w.States, fr.state)
+		w.Inputs = append(w.Inputs, fr.inputs)
+	}
+	return w
+}
+
+func (s *Solver) formulaStats() bmc.FormulaStats {
+	return bmc.FormulaStats{
+		Vars:    s.step.NumVars() + s.init.NumVars(),
+		Clauses: s.step.NumClauses() + s.init.NumClauses(),
+		Bytes:   s.step.SizeBytes() + s.init.SizeBytes(),
+	}
+}

@@ -1,0 +1,96 @@
+package msl
+
+// File is a parsed MSL source file.
+type File struct {
+	Name   string
+	Decls  []*VarDecl
+	Inputs []*InputDecl
+	Nexts  []*NextStmt
+	Bads   []*BadStmt
+}
+
+// InputDecl declares a free input of the given width (1 when omitted).
+type InputDecl struct {
+	Name  string
+	Width int
+	Line  int
+}
+
+// VarDecl declares a register. Init is the reset value; InitX marks an
+// uninitialized register.
+type VarDecl struct {
+	Name  string
+	Width int
+	Init  uint64
+	InitX bool
+	Line  int
+}
+
+// NextStmt sets the next-state function of a register.
+type NextStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// BadStmt contributes a disjunct to the bad-state predicate.
+type BadStmt struct {
+	Expr Expr
+	Line int
+}
+
+// Expr is an MSL expression node.
+type Expr interface {
+	exprNode()
+	Pos() (line, col int)
+}
+
+type pos struct{ line, col int }
+
+func (p pos) Pos() (int, int) { return p.line, p.col }
+
+// Ref names an input or register.
+type Ref struct {
+	pos
+	Name string
+}
+
+// Num is a numeric literal; its width adapts to context.
+type Num struct {
+	pos
+	Value uint64
+}
+
+// Index selects a single bit: expr[i].
+type Index struct {
+	pos
+	X   Expr
+	Bit int
+}
+
+// Unary is ~x (bitwise not) or !x (logical not on width-1).
+type Unary struct {
+	pos
+	Op string
+	X  Expr
+}
+
+// Binary covers | ^ & == != < <= > >= + - << >>.
+type Binary struct {
+	pos
+	Op   string
+	X, Y Expr
+}
+
+// Cond is the ternary c ? t : e.
+type Cond struct {
+	pos
+	C, T, E Expr
+}
+
+func (*Ref) exprNode()    {}
+func (*Num) exprNode()    {}
+func (*Index) exprNode()  {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*Cond) exprNode()   {}

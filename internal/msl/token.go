@@ -1,0 +1,290 @@
+// Package msl implements the Model Specification Language, a small
+// hardware description frontend for the BMC engines. An MSL file
+// declares a synchronous design: boolean/vector registers with reset
+// values, free inputs, next-state equations and a bad-state predicate.
+// The elaborator compiles it to an And-Inverter Graph transition system.
+//
+// Example:
+//
+//	model counter
+//	input en;
+//	var count : 8 = 0;
+//	next count = en ? count + 1 : count;
+//	bad count == 0xC8;
+package msl
+
+import "fmt"
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokModel
+	tokInput
+	tokVar
+	tokNext
+	tokBad
+	tokConstraintX // the literal 'x' initializer
+	tokColon
+	tokSemi
+	tokAssign // =
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokQuestion
+	tokTernColon
+	tokOr    // |
+	tokXor   // ^
+	tokAnd   // &
+	tokEq    // ==
+	tokNeq   // !=
+	tokLt    // <
+	tokLe    // <=
+	tokGt    // >
+	tokGe    // >=
+	tokPlus  // +
+	tokMinus // -
+	tokShl   // <<
+	tokShr   // >>
+	tokNot   // ~
+	tokLNot  // !
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "end of file", tokIdent: "identifier", tokNumber: "number",
+	tokModel: "'model'", tokInput: "'input'", tokVar: "'var'",
+	tokNext: "'next'", tokBad: "'bad'", tokConstraintX: "'x'",
+	tokColon: "':'", tokSemi: "';'", tokAssign: "'='",
+	tokLParen: "'('", tokRParen: "')'", tokLBracket: "'['", tokRBracket: "']'",
+	tokQuestion: "'?'", tokTernColon: "':'",
+	tokOr: "'|'", tokXor: "'^'", tokAnd: "'&'",
+	tokEq: "'=='", tokNeq: "'!='", tokLt: "'<'", tokLe: "'<='",
+	tokGt: "'>'", tokGe: "'>='", tokPlus: "'+'", tokMinus: "'-'",
+	tokShl: "'<<'", tokShr: "'>>'", tokNot: "'~'", tokLNot: "'!'",
+}
+
+func (k tokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", k)
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	num  uint64
+	line int
+	col  int
+}
+
+// Error is a positioned MSL front-end error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("msl:%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errAt(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  []byte
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []byte(src), line: 1, col: 1} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentCont(b byte) bool { return isIdentStart(b) || (b >= '0' && b <= '9') }
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+var keywords = map[string]tokenKind{
+	"model": tokModel,
+	"input": tokInput,
+	"var":   tokVar,
+	"next":  tokNext,
+	"bad":   tokBad,
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		if b == ' ' || b == '\t' || b == '\r' || b == '\n' {
+			lx.advance()
+			continue
+		}
+		if b == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	b := lx.advance()
+	mk := func(k tokenKind) (token, error) {
+		return token{kind: k, line: line, col: col}, nil
+	}
+	switch {
+	case isIdentStart(b):
+		start := lx.pos - 1
+		for lx.pos < len(lx.src) && isIdentCont(lx.peekByte()) {
+			lx.advance()
+		}
+		text := string(lx.src[start:lx.pos])
+		if k, ok := keywords[text]; ok {
+			return token{kind: k, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+	case isDigit(b):
+		start := lx.pos - 1
+		base := 10
+		if b == '0' && (lx.peekByte() == 'x' || lx.peekByte() == 'X') {
+			lx.advance()
+			base = 16
+		}
+		for lx.pos < len(lx.src) && (isDigit(lx.peekByte()) ||
+			(base == 16 && isHexLetter(lx.peekByte()))) {
+			lx.advance()
+		}
+		text := string(lx.src[start:lx.pos])
+		var val uint64
+		var err error
+		if base == 16 {
+			val, err = parseUint(text[2:], 16)
+		} else {
+			val, err = parseUint(text, 10)
+		}
+		if err != nil {
+			return token{}, errAt(line, col, "bad numeric literal %q", text)
+		}
+		return token{kind: tokNumber, text: text, num: val, line: line, col: col}, nil
+	}
+	switch b {
+	case ':':
+		return mk(tokColon)
+	case ';':
+		return mk(tokSemi)
+	case '(':
+		return mk(tokLParen)
+	case ')':
+		return mk(tokRParen)
+	case '[':
+		return mk(tokLBracket)
+	case ']':
+		return mk(tokRBracket)
+	case '?':
+		return mk(tokQuestion)
+	case '|':
+		return mk(tokOr)
+	case '^':
+		return mk(tokXor)
+	case '&':
+		return mk(tokAnd)
+	case '+':
+		return mk(tokPlus)
+	case '-':
+		return mk(tokMinus)
+	case '~':
+		return mk(tokNot)
+	case '=':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return mk(tokEq)
+		}
+		return mk(tokAssign)
+	case '!':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return mk(tokNeq)
+		}
+		return mk(tokLNot)
+	case '<':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return mk(tokLe)
+		}
+		if lx.peekByte() == '<' {
+			lx.advance()
+			return mk(tokShl)
+		}
+		return mk(tokLt)
+	case '>':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return mk(tokGe)
+		}
+		if lx.peekByte() == '>' {
+			lx.advance()
+			return mk(tokShr)
+		}
+		return mk(tokGt)
+	}
+	return token{}, errAt(line, col, "unexpected character %q", string(b))
+}
+
+func isHexLetter(b byte) bool {
+	return (b >= 'a' && b <= 'f') || (b >= 'A' && b <= 'F')
+}
+
+func parseUint(s string, base int) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	var v uint64
+	for _, c := range []byte(s) {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad digit")
+		}
+		if d >= uint64(base) {
+			return 0, fmt.Errorf("digit out of range")
+		}
+		v = v*uint64(base) + d
+	}
+	return v, nil
+}

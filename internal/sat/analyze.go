@@ -1,0 +1,194 @@
+package sat
+
+import "repro/internal/cnf"
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first), the backtrack level, and the clause's
+// LBD (number of distinct decision levels).
+func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int, uint32) {
+	learnt := s.analyzeBuf[:0]
+	learnt = append(learnt, cnf.NoLit) // placeholder for the UIP
+
+	pathC := 0
+	p := cnf.NoLit
+	idx := len(s.trail) - 1
+
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p != cnf.NoLit {
+			start = 1 // lits[0] is the propagated literal p itself
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.bumpVar(v)
+				s.seen[v] = 1
+				s.toClear = append(s.toClear, v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Next literal on the trail that is part of the conflict.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Neg()
+	// seen[] remains set exactly for the literals kept in the clause
+	// (lower-level ones); resolved current-level variables were cleared
+	// in the loop. That is the state minimization relies on.
+
+	if !s.opts.DisableMinimization {
+		learnt = s.minimize(learnt)
+	}
+
+	// Compute LBD and the backtrack level (second-highest level).
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	lbd := s.computeLBD(learnt)
+
+	for _, v := range s.toClear {
+		s.seen[v] = 0
+	}
+	s.toClear = s.toClear[:0]
+
+	s.analyzeBuf = learnt
+	out := append([]cnf.Lit(nil), learnt...)
+	return out, btLevel, lbd
+}
+
+// minimize removes literals implied by the rest of the clause via their
+// reason clauses (recursive / "deep" minimization à la MiniSat ccmin=2).
+func (s *Solver) minimize(learnt []cnf.Lit) []cnf.Lit {
+	// Abstraction of the decision levels present, to prune the search.
+	var levels uint32
+	for _, l := range learnt[1:] {
+		levels |= abstractLevel(s.level[l.Var()])
+	}
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if s.reason[l.Var()] == nil || !s.litRedundant(l, levels) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func abstractLevel(lvl int32) uint32 { return 1 << (uint32(lvl) & 31) }
+
+// litRedundant reports whether p is implied by seen literals, searching
+// the implication graph through reason clauses.
+func (s *Solver) litRedundant(p cnf.Lit, abstractLevels uint32) bool {
+	stack := []cnf.Lit{p}
+	top := len(s.toClear)
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := s.reason[q.Var()]
+		for _, l := range c.lits[1:] {
+			v := l.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] != nil && abstractLevel(s.level[v])&abstractLevels != 0 {
+				s.seen[v] = 1
+				s.toClear = append(s.toClear, v)
+				stack = append(stack, l)
+				continue
+			}
+			// Cannot be shown redundant: undo the speculative marks.
+			for len(s.toClear) > top {
+				s.seen[s.toClear[len(s.toClear)-1]] = 0
+				s.toClear = s.toClear[:len(s.toClear)-1]
+			}
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) computeLBD(lits []cnf.Lit) uint32 {
+	seen := map[int32]bool{}
+	for _, l := range lits {
+		seen[s.level[l.Var()]] = true
+	}
+	return uint32(len(seen))
+}
+
+// analyzeFinal computes the failed-assumption set after an assumption
+// literal was found false: the subset of assumptions sufficient for the
+// conflict, expressed as in MiniSat (negation of the implied literal plus
+// contributing assumption negations).
+func (s *Solver) analyzeFinal(p cnf.Lit) {
+	s.conflict = s.conflict[:0]
+	s.conflict = append(s.conflict, p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			// A decision: under assumption solving all decisions at
+			// these levels are assumptions.
+			s.conflict = append(s.conflict, s.trail[i].Neg())
+		} else {
+			for _, l := range s.reason[v].lits[1:] {
+				if s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}
+
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.act += float32(s.claInc)
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}

@@ -1,0 +1,102 @@
+package sat
+
+import "repro/internal/cnf"
+
+// varHeap is a binary max-heap of variables ordered by VSIDS activity,
+// with an index map for decrease/increase-key operations.
+type varHeap struct {
+	solver *Solver
+	heap   []cnf.Var
+	index  []int32 // position+1 in heap per variable; 0 = absent
+}
+
+func (h *varHeap) less(a, b cnf.Var) bool {
+	return h.solver.activity[a] > h.solver.activity[b]
+}
+
+func (h *varHeap) ensure(v cnf.Var) {
+	for int(v) >= len(h.index) {
+		h.index = append(h.index, 0)
+	}
+}
+
+func (h *varHeap) contains(v cnf.Var) bool {
+	return int(v) < len(h.index) && h.index[v] != 0
+}
+
+func (h *varHeap) insert(v cnf.Var) {
+	h.ensure(v)
+	if h.index[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = int32(len(h.heap))
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) removeMax() cnf.Var {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.index[h.heap[0]] = 1
+	h.heap = h.heap[:last]
+	h.index[v] = 0
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+// update re-establishes heap order after v's activity increased.
+func (h *varHeap) update(v cnf.Var) {
+	if h.contains(v) {
+		h.up(int(h.index[v] - 1))
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.index[h.heap[i]] = int32(i + 1)
+		i = parent
+	}
+	h.heap[i] = v
+	h.index[v] = int32(i + 1)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.less(h.heap[r], h.heap[l]) {
+			best = r
+		}
+		if !h.less(h.heap[best], v) {
+			break
+		}
+		h.heap[i] = h.heap[best]
+		h.index[h.heap[i]] = int32(i + 1)
+		i = best
+	}
+	h.heap[i] = v
+	h.index[v] = int32(i + 1)
+}
+
+// rebuild re-heapifies after a global activity rescale.
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}

@@ -1,0 +1,42 @@
+package sat
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// locked reports whether c is currently the reason of an assignment and
+// therefore must not be deleted.
+func (s *Solver) locked(c *clause) bool {
+	l := c.lits[0]
+	return s.value(l) == cnf.True && s.reason[l.Var()] == c
+}
+
+// reduceDB removes roughly half of the learnt clauses, preferring to keep
+// low-LBD ("glue"), binary, high-activity, and locked clauses.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if (a.lbd <= 2) != (b.lbd <= 2) {
+			return a.lbd <= 2
+		}
+		if (len(a.lits) == 2) != (len(b.lits) == 2) {
+			return len(a.lits) == 2
+		}
+		return a.act > b.act
+	})
+	// Best clauses sorted first; delete what is deletable in the back half.
+	limit := len(s.learnts) / 2
+	kept := s.learnts[:0]
+	for i, c := range s.learnts {
+		if i < limit || len(c.lits) == 2 || c.lbd <= 2 || s.locked(c) {
+			kept = append(kept, c)
+			continue
+		}
+		s.detach(c)
+		s.Stats.Removed++
+	}
+	s.learnts = kept
+	s.maxLearnts *= 1.1
+}

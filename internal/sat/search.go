@@ -1,0 +1,227 @@
+package sat
+
+import (
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Solve determines satisfiability of the clause set under the given
+// assumption literals. It returns Sat, Unsat, or Unknown when a budget
+// from Options was exhausted. After Sat, Model holds a satisfying
+// assignment; after Unsat under assumptions, FailedAssumptions holds a
+// conflicting subset.
+func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
+	if !s.ok {
+		s.conflict = nil
+		return Unsat
+	}
+	s.assumptions = append(s.assumptions[:0], assumptions...)
+	s.conflict = nil
+	s.model = nil
+	s.lubyIndex = 0
+	s.conflictsCur = 0
+
+	if s.maxLearnts == 0 {
+		s.maxLearnts = float64(len(s.clauses)) / 3
+		if s.maxLearnts < 1000 {
+			s.maxLearnts = 1000
+		}
+	}
+
+	startConflicts := s.Stats.Conflicts
+	startProps := s.Stats.Propagations
+	deadlineCheck := int64(0)
+
+	defer s.cancelUntil(0)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			s.conflictsCur++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel, lbd := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			s.record(learnt, lbd)
+			s.decayActivities()
+
+			// Budgets.
+			if s.opts.ConflictBudget > 0 && s.Stats.Conflicts-startConflicts >= s.opts.ConflictBudget {
+				return Unknown
+			}
+			if s.opts.PropagationBudget > 0 && s.Stats.Propagations-startProps >= s.opts.PropagationBudget {
+				return Unknown
+			}
+			deadlineCheck++
+			if !s.opts.Deadline.IsZero() && deadlineCheck%64 == 0 && time.Now().After(s.opts.Deadline) {
+				return Unknown
+			}
+			continue
+		}
+
+		// No conflict: restart, reduce, or extend the assignment.
+		if !s.opts.DisableRestarts && s.conflictsCur >= int64(s.restartBase*luby(s.lubyIndex)) {
+			s.lubyIndex++
+			s.conflictsCur = 0
+			s.Stats.Restarts++
+			s.cancelUntil(0)
+			continue
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+		}
+
+		next := cnf.NoLit
+		for s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case cnf.True:
+				s.newDecisionLevel() // already satisfied: dummy level
+			case cnf.False:
+				s.analyzeFinal(p.Neg())
+				return Unsat
+			default:
+				next = p
+			}
+			if next != cnf.NoLit {
+				break
+			}
+		}
+		if next == cnf.NoLit {
+			next = s.pickBranchLit()
+			if next == cnf.NoLit {
+				// All variables assigned: a model.
+				s.model = make(cnf.Assignment, len(s.assigns))
+				copy(s.model, s.assigns)
+				return Sat
+			}
+			s.Stats.Decisions++
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// luby returns the x-th element (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(x int) int {
+	size, seq := 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << uint(seq)
+}
+
+func (s *Solver) pickBranchLit() cnf.Lit {
+	if s.opts.DisableVSIDS {
+		for v := cnf.Var(1); int(v) < len(s.assigns); v++ {
+			if s.assigns[v] == cnf.Undef {
+				return s.phasedLit(v)
+			}
+		}
+		return cnf.NoLit
+	}
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assigns[v] == cnf.Undef {
+			return s.phasedLit(v)
+		}
+	}
+	return cnf.NoLit
+}
+
+func (s *Solver) phasedLit(v cnf.Var) cnf.Lit {
+	if !s.opts.DisablePhaseSaving && s.polarity[v] {
+		return cnf.PosLit(v)
+	}
+	return cnf.NegLit(v)
+}
+
+// propagate performs unit propagation over the two-watch scheme,
+// returning the conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+	watchLoop:
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if s.value(w.blocker) == cnf.True {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			lits := c.lits
+			// Make sure the false literal (¬p) is at position 1.
+			if lits[0] == p.Neg() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.value(first) == cnf.True {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != cnf.False {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{c, first})
+					continue watchLoop
+				}
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == cnf.False {
+				confl = c
+				s.qhead = len(s.trail)
+				// Copy the remaining watchers back before bailing out.
+				for wi++; wi < len(ws); wi++ {
+					kept = append(kept, ws[wi])
+				}
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// record attaches a learnt clause and enqueues its asserting literal.
+func (s *Solver) record(learnt []cnf.Lit, lbd uint32) {
+	s.Stats.Learned++
+	if len(learnt) == 1 {
+		s.uncheckedEnqueue(learnt[0], nil)
+		return
+	}
+	c := &clause{lits: append([]cnf.Lit(nil), learnt...), learnt: true, lbd: lbd, act: float32(s.claInc)}
+	s.learnts = append(s.learnts, c)
+	if int64(len(s.learnts)) > s.Stats.MaxLearnts {
+		s.Stats.MaxLearnts = int64(len(s.learnts))
+	}
+	s.attach(c)
+	s.uncheckedEnqueue(learnt[0], c)
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.claInc /= 0.999
+}

@@ -1,0 +1,325 @@
+// Package sat implements a CDCL (conflict-driven clause-learning) SAT
+// solver in the MiniSat tradition: two-literal watching, VSIDS decision
+// heuristic with phase saving, first-UIP conflict analysis with recursive
+// clause minimization, Luby restarts, activity/LBD-based learnt-clause
+// deletion, and incremental solving under assumptions.
+//
+// The solver is the workhorse of the reproduction: classical BMC solves
+// the unrolled formula (1) with it directly, and the paper's
+// special-purpose jSAT procedure (internal/jsat) drives it incrementally,
+// one transition-relation copy at a time.
+package sat
+
+import (
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Status is the outcome of a Solve call.
+type Status uint8
+
+// Solve outcomes.
+const (
+	Unknown Status = iota // budget exhausted
+	Sat
+	Unsat
+)
+
+// String returns "SAT", "UNSAT" or "UNKNOWN".
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// Options configure a Solver. The zero value enables every feature with
+// library defaults; the Disable* switches exist for the E5 ablation
+// experiments.
+type Options struct {
+	// ConflictBudget, when positive, bounds the number of conflicts of a
+	// single Solve call; exceeding it yields Unknown.
+	ConflictBudget int64
+	// PropagationBudget, when positive, bounds literal propagations.
+	PropagationBudget int64
+	// Deadline, when non-zero, aborts the solve with Unknown once passed.
+	// It is checked every few hundred conflicts.
+	Deadline time.Time
+
+	// DisableVSIDS branches on the lowest-indexed unassigned variable
+	// instead of activity order.
+	DisableVSIDS bool
+	// DisableRestarts turns off Luby restarts.
+	DisableRestarts bool
+	// DisablePhaseSaving always branches negative first.
+	DisablePhaseSaving bool
+	// DisableMinimization turns off learnt-clause minimization.
+	DisableMinimization bool
+}
+
+// Stats are cumulative solver statistics.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learned      int64
+	Removed      int64
+	MaxLearnts   int64 // high-water mark of the learnt database
+}
+
+type clause struct {
+	lits   []cnf.Lit
+	act    float32
+	lbd    uint32
+	learnt bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker cnf.Lit // cached literal; if true the clause is satisfied
+}
+
+// Solver is a CDCL SAT solver. Create one with New, add variables with
+// NewVar and clauses with AddClause, then call Solve (optionally under
+// assumptions). Between Solve calls more variables and clauses may be
+// added, enabling incremental use.
+type Solver struct {
+	opts  Options
+	Stats Stats
+
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by literal
+
+	assigns  []cnf.Value // per variable
+	level    []int32
+	reason   []*clause
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    varHeap
+	polarity []bool // saved phases: true = last value was true
+
+	claInc float64
+
+	// conflict-analysis scratch
+	seen       []uint8
+	toClear    []cnf.Var
+	analyzeBuf []cnf.Lit
+
+	assumptions []cnf.Lit
+	conflict    []cnf.Lit // failed-assumption clause after Unsat-under-assumptions
+
+	ok           bool
+	model        cnf.Assignment
+	maxLearnts   float64
+	restartBase  int
+	lubyIndex    int
+	conflictsCur int64 // conflicts since last restart
+}
+
+// New returns an empty solver.
+func New(opts Options) *Solver {
+	s := &Solver{
+		opts:        opts,
+		varInc:      1,
+		claInc:      1,
+		ok:          true,
+		restartBase: 100,
+	}
+	// Variable 0 is unused; keep arrays aligned with cnf.Var numbering.
+	s.assigns = append(s.assigns, cnf.Undef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, false)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.solver = s
+	return s
+}
+
+// NewVar introduces a fresh variable.
+func (s *Solver) NewVar() cnf.Var {
+	v := cnf.Var(len(s.assigns))
+	s.assigns = append(s.assigns, cnf.Undef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, false)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// NumVars returns the number of variables created.
+func (s *Solver) NumVars() int { return len(s.assigns) - 1 }
+
+// NumClauses returns the number of problem clauses currently stored.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of learnt clauses currently stored.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Okay reports whether the clause set is not yet known to be
+// unsatisfiable at the top level.
+func (s *Solver) Okay() bool { return s.ok }
+
+// SizeBytes estimates the live memory of the clause database (problem
+// plus learnt clauses), the measure used by experiment E3.
+func (s *Solver) SizeBytes() int {
+	const clauseOverhead = 48
+	n := 0
+	for _, c := range s.clauses {
+		n += len(c.lits)*4 + clauseOverhead
+	}
+	for _, c := range s.learnts {
+		n += len(c.lits)*4 + clauseOverhead
+	}
+	n += len(s.watches) * 24
+	n += len(s.assigns) * (1 + 4 + 8 + 8 + 1 + 1)
+	return n
+}
+
+func (s *Solver) value(l cnf.Lit) cnf.Value {
+	v := s.assigns[l.Var()]
+	if l.IsNeg() {
+		return v.Not()
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause at the top level. It returns false when the
+// clause set has become trivially unsatisfiable. Literals over variables
+// not yet created are rejected with a panic (a programming error).
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during search")
+	}
+	if !s.ok {
+		return false
+	}
+	c := cnf.Clause(append([]cnf.Lit(nil), lits...))
+	for _, l := range c {
+		if int(l.Var()) >= len(s.assigns) || l.Var() == cnf.NoVar {
+			panic("sat: clause mentions unknown variable")
+		}
+	}
+	nc, taut := c.Normalize()
+	if taut {
+		return true
+	}
+	// Remove literals already false at level 0; drop the clause when a
+	// literal is already true.
+	out := nc[:0]
+	for _, l := range nc {
+		switch s.value(l) {
+		case cnf.True:
+			return true
+		case cnf.Undef:
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	cl := &clause{lits: append([]cnf.Lit(nil), out...)}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Neg(), c)
+	s.removeWatch(c.lits[1].Neg(), c)
+}
+
+func (s *Solver) removeWatch(l cnf.Lit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = cnf.BoolValue(!l.IsNeg())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+// cancelUntil undoes all assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		if !s.opts.DisablePhaseSaving {
+			s.polarity[v] = s.assigns[v] == cnf.True
+		}
+		s.assigns[v] = cnf.Undef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	if s.qhead > bound {
+		s.qhead = bound
+	}
+}
+
+// Value returns the model value of v after a Sat result.
+func (s *Solver) Value(v cnf.Var) cnf.Value {
+	if int(v) >= len(s.model) {
+		return cnf.Undef
+	}
+	return s.model[v]
+}
+
+// LitValue returns the model value of l after a Sat result.
+func (s *Solver) LitValue(l cnf.Lit) cnf.Value {
+	v := s.Value(l.Var())
+	if l.IsNeg() {
+		return v.Not()
+	}
+	return v
+}
+
+// Model returns the satisfying assignment found by the last Sat solve.
+func (s *Solver) Model() cnf.Assignment { return s.model }
+
+// FailedAssumptions returns, after an Unsat result under assumptions, a
+// subset of the assumptions whose conjunction is already unsatisfiable
+// (negated clause form, as in MiniSat's conflict vector).
+func (s *Solver) FailedAssumptions() []cnf.Lit { return s.conflict }

