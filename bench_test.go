@@ -218,6 +218,38 @@ func BenchmarkQBFWall_SAT_k7(b *testing.B) { benchQBFWall(b, 7, false) }
 func BenchmarkQBFWall_QBF_k4(b *testing.B) { benchQBFWall(b, 4, true) }
 func BenchmarkQBFWall_QBF_k7(b *testing.B) { benchQBFWall(b, 7, true) }
 
+// benchDeepen measures a full iterative-deepening run to a depth-64
+// LFSR counterexample — the E8 comparison: monolithic re-unrolling
+// (fresh formula and solver per bound) vs the persistent-solver
+// incremental engine (one solver, one new frame per bound).
+func benchDeepen(b *testing.B, incremental bool) {
+	sys := bench.LFSRAtDepth(10, 0x204, 64)
+	b.ResetTimer()
+	var d bmc.DeepenResult
+	clauses := 0
+	for i := 0; i < b.N; i++ {
+		if incremental {
+			u := bmc.NewIncrementalUnroller(sys, bmc.IncrementalOptions{})
+			d = u.Deepen(64)
+			clauses = u.Stats().ClausesAdded
+		} else {
+			clauses = 0
+			d = bmc.DeepenLinear(sys, 64, func(m *model.System, k int) bmc.Result {
+				r := bmc.SolveUnroll(m, k, bmc.UnrollOptions{})
+				clauses += r.Formula.Clauses
+				return r
+			})
+		}
+		if d.FoundAt != 64 {
+			b.Fatalf("depth-64 LFSR counterexample found at %d, want 64", d.FoundAt)
+		}
+	}
+	b.ReportMetric(float64(clauses), "cum-clauses")
+}
+
+func BenchmarkDeepen_Monolithic_d64(b *testing.B)  { benchDeepen(b, false) }
+func BenchmarkDeepen_Incremental_d64(b *testing.B) { benchDeepen(b, true) }
+
 // Substrate micro-benchmarks: the hot paths under everything above.
 
 func BenchmarkSAT_Pigeonhole7(b *testing.B) {

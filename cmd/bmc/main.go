@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	bmc -model design.msl -k 12 [-engine sat|jsat|qbf-linear|qbf-squaring]
+//	bmc -model design.msl -k 12 [-engine sat|sat-incr|jsat|qbf-linear|qbf-squaring]
 //	    [-sem exact|atmost] [-timeout 30s] [-witness] [-pg]
 //
 // Models are loaded from .msl (Model Specification Language) or .aag
@@ -23,7 +23,7 @@ func main() {
 	var (
 		modelPath = flag.String("model", "", "model file (.msl or .aag)")
 		k         = flag.Int("k", 0, "bound (number of transitions)")
-		engineStr = flag.String("engine", "sat", "engine: sat, jsat, qbf-linear, qbf-squaring")
+		engineStr = flag.String("engine", "sat", "engine: sat, sat-incr, jsat, qbf-linear, qbf-squaring")
 		semStr    = flag.String("sem", "exact", "semantics: exact or atmost")
 		timeout   = flag.Duration("timeout", 0, "per-check timeout (0 = none)")
 		witness   = flag.Bool("witness", false, "print the counterexample trace when found")
@@ -75,6 +75,15 @@ func main() {
 			fmt.Printf(" at bound %d", d.FoundAt)
 		}
 		fmt.Printf(" after %d iterations in %v\n", d.Iterations, time.Since(start).Round(time.Millisecond))
+		if d.Witness != nil && d.System != nil {
+			if err := d.Witness.Validate(d.System); err != nil {
+				fatal(fmt.Errorf("bmc: internal error: invalid witness: %v", err))
+			}
+			fmt.Println("witness validated")
+			if *witness {
+				fmt.Print(d.Witness)
+			}
+		}
 		if d.Status == sebmc.Unknown {
 			os.Exit(1)
 		}

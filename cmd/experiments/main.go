@@ -10,6 +10,7 @@
 //	experiments -e squaring          # E4: deepening iteration counts
 //	experiments -e ablation          # E5: design-choice ablations
 //	experiments -e qbfwall           # E6: general QBF vs SAT on tiny model
+//	experiments -e deepening         # E8: incremental vs monolithic deepening
 //	experiments -e all               # everything
 //	    [-timelimit 1s] [-csv results.csv]
 package main
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("e", "all", "experiment: table1, growth, memory, squaring, ablation, qbfwall, bdd, all")
+		exp       = flag.String("e", "all", "experiment: table1, growth, memory, squaring, ablation, qbfwall, bdd, deepening, all")
 		timeLimit = flag.Duration("timelimit", time.Second, "per-instance time budget")
 		csvPath   = flag.String("csv", "", "write per-instance table1 results as CSV")
 	)
@@ -79,6 +80,14 @@ func main() {
 	run("qbfwall", func() {
 		rows := bench.RunQBFWall(8, cfg)
 		bench.WriteQBFWall(os.Stdout, rows)
+	})
+	run("deepening", func() {
+		cmps := []bench.DeepeningComparison{
+			bench.RunDeepening(bench.LFSRAtDepth(10, 0x204, 64), 64, cfg),
+			bench.RunDeepening(circuits.Counter(8, 48), 48, cfg),
+			bench.RunDeepening(circuits.TrafficLight(4), 32, cfg),
+		}
+		bench.WriteDeepening(os.Stdout, cmps)
 	})
 }
 

@@ -47,6 +47,9 @@ func TestFamiliesBuildAndAreWellFormed(t *testing.T) {
 }
 
 func TestRunAgreesWithOracleOnSmallFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow oracle sweep")
+	}
 	// For families small enough to enumerate, every engine answer that
 	// is not Unknown must match the explicit oracle.
 	cfg := DefaultConfig()
@@ -60,7 +63,7 @@ func TestRunAgreesWithOracleOnSmallFamilies(t *testing.T) {
 		for _, k := range []int{1, 3, 5} {
 			want := oracle.ReachableExact(k)
 			inst := Instance{Family: fam.Name, Sys: sys, K: k}
-			for _, eng := range []EngineKind{EngineSAT, EngineJSAT} {
+			for _, eng := range []EngineKind{EngineSAT, EngineSATIncr, EngineJSAT} {
 				r := Run(inst, eng, cfg)
 				if r.Status == bmc.Unknown {
 					continue
@@ -180,6 +183,56 @@ func TestQBFWallAgreement(t *testing.T) {
 	WriteQBFWall(&buf, rows)
 	if !strings.Contains(buf.String(), "E6") {
 		t.Fatalf("rendering broken")
+	}
+}
+
+// TestDeepeningE8 is the acceptance test of the incremental engine: on
+// a depth-64 LFSR instance the persistent-solver deepening run must add
+// at least 2× fewer cumulative clauses than monolithic re-unrolling,
+// agree with it on every answer, and surface a replayable witness.
+func TestDeepeningE8(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TimeLimit = 10 * time.Second
+	cmp := RunDeepening(LFSRAtDepth(10, 0x204, 64), 64, cfg)
+
+	if cmp.Monolithic.Deepen.Status != bmc.Reachable || cmp.Monolithic.Deepen.FoundAt != 64 {
+		t.Fatalf("monolithic deepening: %+v", cmp.Monolithic.Deepen)
+	}
+	if cmp.Incremental.Deepen.Status != bmc.Reachable || cmp.Incremental.Deepen.FoundAt != 64 {
+		t.Fatalf("incremental deepening: %+v", cmp.Incremental.Deepen)
+	}
+	if w := cmp.Incremental.Deepen.Witness; w == nil {
+		t.Fatalf("incremental run carries no witness")
+	} else if err := w.Validate(cmp.Incremental.Deepen.System); err != nil {
+		t.Fatalf("incremental witness does not replay: %v", err)
+	}
+	if ratio := cmp.ClauseRatio(); ratio < 2 {
+		t.Fatalf("cumulative clause ratio %.1fx, want >= 2x (mono %d, incr %d)",
+			ratio, cmp.Monolithic.ClausesAdded, cmp.Incremental.ClausesAdded)
+	}
+	t.Logf("E8 depth-64 LFSR: mono %d clauses in %v, incr %d clauses in %v (%.1fx fewer)",
+		cmp.Monolithic.ClausesAdded, cmp.Monolithic.Elapsed,
+		cmp.Incremental.ClausesAdded, cmp.Incremental.Elapsed, cmp.ClauseRatio())
+
+	var buf bytes.Buffer
+	WriteDeepening(&buf, []DeepeningComparison{cmp})
+	if !strings.Contains(buf.String(), "E8") {
+		t.Fatalf("rendering broken")
+	}
+}
+
+// TestDeepeningE8Safe runs the comparison on a safe system, where every
+// bound is checked (no early exit) and the answers must both be
+// Unreachable.
+func TestDeepeningE8Safe(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TimeLimit = 10 * time.Second
+	cmp := RunDeepening(circuits.TrafficLight(4), 32, cfg)
+	if cmp.Monolithic.Deepen.Status != bmc.Unreachable || cmp.Incremental.Deepen.Status != bmc.Unreachable {
+		t.Fatalf("safe system: mono %v, incr %v", cmp.Monolithic.Deepen.Status, cmp.Incremental.Deepen.Status)
+	}
+	if ratio := cmp.ClauseRatio(); ratio < 2 {
+		t.Fatalf("cumulative clause ratio %.1fx, want >= 2x", ratio)
 	}
 }
 

@@ -25,6 +25,9 @@ const (
 	// EngineQBFSquaring is a general-purpose QBF solver on formula (3)
 	// (power-of-two bounds only).
 	EngineQBFSquaring
+	// EngineSATIncr is the persistent-solver incremental engine on
+	// formula (1): one solver per deepening run, one new frame per bound.
+	EngineSATIncr
 )
 
 // String names the engine as it appears in result tables.
@@ -38,6 +41,8 @@ func (e EngineKind) String() string {
 		return "qbf-linear"
 	case EngineQBFSquaring:
 		return "qbf-squaring"
+	case EngineSATIncr:
+		return "sat-incr"
 	}
 	return "unknown"
 }
@@ -112,6 +117,16 @@ func Run(inst Instance, engine EngineKind, cfg Config) InstanceResult {
 				ConflictBudget: cfg.SATConflicts,
 				Deadline:       cfg.deadline(),
 			},
+		})
+		out.Status = r.Status
+		out.Conflicts = r.Conflicts
+		out.Vars, out.Clauses, out.PeakBytes = r.Formula.Vars, r.Formula.Clauses, r.PeakBytes
+	case EngineSATIncr:
+		r := bmc.SolveIncremental(inst.Sys, inst.K, bmc.IncrementalOptions{
+			Semantics:    cfg.Semantics,
+			Mode:         cfg.Mode,
+			SAT:          sat.Options{ConflictBudget: cfg.SATConflicts},
+			QueryTimeout: cfg.TimeLimit,
 		})
 		out.Status = r.Status
 		out.Conflicts = r.Conflicts

@@ -48,7 +48,7 @@ func Families() []Family {
 			"input-gated counter, counterexamples at k≥10"},
 		{"tokenring", func() *model.System { return circuits.TokenRing(12) },
 			"one-hot ring, counterexample at k=11 then every 12"},
-		{"lfsr", func() *model.System { return lfsrAtDepth(10, 0x204, 15) },
+		{"lfsr", func() *model.System { return LFSRAtDepth(10, 0x204, 15) },
 			"Galois LFSR, deterministic counterexample at k=15"},
 		{"factor", func() *model.System { return circuits.Factorizer(28, 268140589) },
 			"embedded 28-bit factoring (16381×16369): satisfiable but combinatorially hard"},
@@ -86,10 +86,11 @@ func Suite() []Instance {
 // grayOf returns the Gray code of v.
 func grayOf(v uint64) uint64 { return v ^ v>>1 }
 
-// lfsrAtDepth builds the LFSR family with the bad target set to the
+// LFSRAtDepth builds the LFSR family with the bad target set to the
 // register value reached after exactly `depth` steps from the seed, so
-// the instance has a known deterministic counterexample depth.
-func lfsrAtDepth(n int, taps uint64, depth int) *model.System {
+// the instance has a known deterministic counterexample depth. The
+// deepening experiments (E8) use deep variants of it directly.
+func LFSRAtDepth(n int, taps uint64, depth int) *model.System {
 	// Build once with a dummy target to get the circuit, simulate, then
 	// rebuild with the real target.
 	probe := circuits.LFSR(n, taps, 0)

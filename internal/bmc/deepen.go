@@ -14,6 +14,11 @@ type DeepenResult struct {
 	FoundAt     int // bound at which a counterexample appeared (-1 if none)
 	Iterations  int // solver invocations performed
 	BoundsTried []int
+	// Witness is the counterexample trace, when the deciding engine
+	// produces one; it validates against System (the transition system
+	// actually encoded, post-transform under at-most-k semantics).
+	Witness *Witness
+	System  *model.System
 }
 
 // CheckFunc answers one bounded reachability query at bound k.
@@ -32,6 +37,8 @@ func DeepenLinear(sys *model.System, maxBound int, check CheckFunc) DeepenResult
 		case Reachable:
 			res.Status = Reachable
 			res.FoundAt = k
+			res.Witness = r.Witness
+			res.System = r.System
 			return res
 		case Unknown:
 			res.Status = Unknown
@@ -63,6 +70,8 @@ func DeepenSquaring(sys *model.System, maxBound int, check CheckFunc) DeepenResu
 		case Reachable:
 			res.Status = Reachable
 			res.FoundAt = k
+			res.Witness = r.Witness
+			res.System = r.System
 			return res
 		case Unknown:
 			res.Status = Unknown

@@ -1,0 +1,189 @@
+package bmc_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bmc"
+	"repro/internal/circuits"
+	"repro/internal/model"
+	"repro/internal/sat"
+	"repro/internal/tseitin"
+)
+
+func TestIncrementalMatchesMonolithicOnFamilies(t *testing.T) {
+	systems := []struct {
+		name string
+		sys  *model.System
+		maxK int
+	}{
+		{"counter", circuits.Counter(4, 9), 12},
+		{"tokenring", circuits.TokenRing(6), 9},
+		{"counteren", circuits.CounterEnable(3, 5), 8},
+		{"traffic", circuits.TrafficLight(2), 8},
+	}
+	for _, tc := range systems {
+		for _, mode := range []tseitin.Mode{tseitin.Full, tseitin.PlaistedGreenbaum} {
+			u := bmc.NewIncrementalUnroller(tc.sys, bmc.IncrementalOptions{Mode: mode})
+			for k := 0; k <= tc.maxK; k++ {
+				want := bmc.SolveUnroll(tc.sys, k, bmc.UnrollOptions{Mode: mode}).Status
+				got := u.CheckBound(k)
+				if got.Status != want {
+					t.Errorf("%s mode=%d k=%d: incremental %v, monolithic %v", tc.name, mode, k, got.Status, want)
+				}
+				if got.Status == bmc.Reachable {
+					if got.Witness == nil {
+						t.Fatalf("%s k=%d: Reachable without witness", tc.name, k)
+					}
+					if err := got.Witness.Validate(got.System); err != nil {
+						t.Errorf("%s k=%d: witness does not replay: %v", tc.name, k, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalDeepenFindsShortestCounterexample(t *testing.T) {
+	sys := circuits.Counter(4, 9)
+	d := bmc.DeepenIncremental(sys, 16, bmc.IncrementalOptions{})
+	if d.Status != bmc.Reachable || d.FoundAt != 9 || d.Iterations != 10 {
+		t.Fatalf("deepen: %+v", d)
+	}
+	if d.Witness == nil {
+		t.Fatalf("deepening must surface the witness")
+	}
+	if err := d.Witness.Validate(d.System); err != nil {
+		t.Fatalf("deepening witness does not replay: %v", err)
+	}
+	if d.Witness.K != 9 {
+		t.Fatalf("witness depth %d, want 9", d.Witness.K)
+	}
+}
+
+func TestIncrementalDeepenSafeSystem(t *testing.T) {
+	d := bmc.DeepenIncremental(circuits.TrafficLight(2), 12, bmc.IncrementalOptions{})
+	if d.Status != bmc.Unreachable || d.FoundAt != -1 || d.Iterations != 13 {
+		t.Fatalf("safe deepen: %+v", d)
+	}
+	if d.Witness != nil {
+		t.Fatalf("safe run must not carry a witness")
+	}
+}
+
+func TestIncrementalBoundsInAnyOrder(t *testing.T) {
+	// Bounds may be queried out of order and repeatedly; retired
+	// properties must not corrupt later (or repeated) queries.
+	sys := circuits.Counter(4, 9)
+	u := bmc.NewIncrementalUnroller(sys, bmc.IncrementalOptions{})
+	order := []int{5, 2, 9, 5, 12, 9, 0, 9}
+	for _, k := range order {
+		want := bmc.Unreachable
+		if k == 9 {
+			want = bmc.Reachable
+		}
+		r := u.CheckBound(k)
+		if r.Status != want {
+			t.Errorf("k=%d: got %v want %v", k, r.Status, want)
+		}
+		if r.Status == bmc.Reachable {
+			if err := r.Witness.Validate(r.System); err != nil {
+				t.Errorf("k=%d: witness does not replay: %v", k, err)
+			}
+		}
+	}
+}
+
+func TestIncrementalAtMostSemantics(t *testing.T) {
+	sys := circuits.Counter(4, 9)
+	u := bmc.NewIncrementalUnroller(sys, bmc.IncrementalOptions{Semantics: bmc.AtMost})
+	for _, k := range []int{7, 9, 12} {
+		want := bmc.Unreachable
+		if k >= 9 {
+			want = bmc.Reachable
+		}
+		r := u.CheckBound(k)
+		if r.Status != want {
+			t.Errorf("atmost k=%d: got %v want %v", k, r.Status, want)
+		}
+		if r.Status == bmc.Reachable {
+			// The witness validates against the self-looped system the
+			// engine actually encoded, which CheckBound reports back.
+			if err := r.Witness.Validate(r.System); err != nil {
+				t.Errorf("atmost k=%d: witness does not replay: %v", k, err)
+			}
+		}
+	}
+}
+
+func TestIncrementalUnknownUnderBudget(t *testing.T) {
+	sys := circuits.Factorizer(28, 268140589)
+	u := bmc.NewIncrementalUnroller(sys, bmc.IncrementalOptions{
+		SAT: sat.Options{ConflictBudget: 1},
+	})
+	if r := u.CheckBound(1); r.Status != bmc.Unknown {
+		t.Skipf("hard instance solved within one conflict on this machine: %v", r.Status)
+	}
+}
+
+func TestIncrementalQueryTimeout(t *testing.T) {
+	// The per-query timeout must abort a hard bound with Unknown…
+	sys := circuits.Factorizer(28, 268140589)
+	u := bmc.NewIncrementalUnroller(sys, bmc.IncrementalOptions{
+		QueryTimeout: 20 * time.Millisecond,
+	})
+	if r := u.CheckBound(1); r.Status != bmc.Unknown {
+		t.Skipf("hard instance solved within 20ms on this machine: %v", r.Status)
+	}
+	// …while a run of many easy bounds is budgeted per bound, not
+	// capped as a whole: the same timeout must let a deepening run
+	// finish every bound.
+	easy := bmc.NewIncrementalUnroller(circuits.TrafficLight(2), bmc.IncrementalOptions{
+		QueryTimeout: 10 * time.Second,
+	})
+	if d := easy.Deepen(24); d.Status != bmc.Unreachable || d.Iterations != 25 {
+		t.Fatalf("easy deepen under per-query timeout: %+v", d)
+	}
+}
+
+// TestIncrementalEncodingWorkIsLinear is the complexity claim of the
+// engine in test form: deepening to 2k must add roughly 2× the clauses
+// of deepening to k, not 4× (as monolithic re-unrolling does).
+func TestIncrementalEncodingWorkIsLinear(t *testing.T) {
+	run := func(maxBound int) int {
+		sys := circuits.TrafficLight(2) // safe: every bound gets checked
+		u := bmc.NewIncrementalUnroller(sys, bmc.IncrementalOptions{})
+		u.Deepen(maxBound)
+		return u.Stats().ClausesAdded
+	}
+	c16, c32 := run(16), run(32)
+	if c32 >= 3*c16 {
+		t.Fatalf("encoding work grew superlinearly: depth-16 %d clauses, depth-32 %d", c16, c32)
+	}
+}
+
+// TestIncrementalReusesSolverAcrossBounds pins the core property: the
+// persistent solver is not rebuilt between bounds, so the number of
+// frames and the clause count advance by exactly one frame per bound.
+func TestIncrementalReusesSolverAcrossBounds(t *testing.T) {
+	sys := circuits.Counter(4, 9)
+	u := bmc.NewIncrementalUnroller(sys, bmc.IncrementalOptions{})
+	var prevClauses int
+	var deltas []int
+	for k := 0; k <= 6; k++ {
+		u.CheckBound(k)
+		if got := u.NumFrames(); got != k+1 {
+			t.Fatalf("after bound %d: %d frames, want %d", k, got, k+1)
+		}
+		st := u.Stats()
+		deltas = append(deltas, st.ClausesAdded-prevClauses)
+		prevClauses = st.ClausesAdded
+	}
+	// Every step after the first two adds one frame's worth of clauses:
+	// the per-step cost must be flat, not growing with k.
+	for i := 3; i < len(deltas); i++ {
+		if deltas[i] != deltas[2] {
+			t.Fatalf("per-bound clause cost not constant: deltas %v", deltas)
+		}
+	}
+}

@@ -7,6 +7,65 @@ import (
 	"repro/internal/tseitin"
 )
 
+// frame is one time step of an unrolling: the leaf (state and input)
+// variables of the step plus the Tseitin encoding of the circuit cones
+// rooted at that step. Both the monolithic encoder (EncodeUnroll) and
+// the persistent-solver path (IncrementalUnroller) are built from the
+// same four frame operations below, so the two engines emit literally
+// the same clauses per frame.
+type frame struct {
+	enc    *tseitin.Encoding
+	state  []cnf.Var
+	inputs []cnf.Var
+}
+
+// newFrame allocates the leaf variables of one time step in f and binds
+// them into a fresh per-frame encoding of the circuit.
+func newFrame(sys *model.System, f *cnf.Formula, mode tseitin.Mode) frame {
+	g := sys.Circ
+	fr := frame{
+		enc:    tseitin.New(g, f, mode),
+		state:  f.NewVars(g.NumLatches()),
+		inputs: f.NewVars(g.NumInputs()),
+	}
+	for i := 0; i < g.NumLatches(); i++ {
+		fr.enc.BindLit(g.LatchLit(i), fr.state[i])
+	}
+	for j, il := range g.Inputs() {
+		fr.enc.BindLit(il, fr.inputs[j])
+	}
+	return fr
+}
+
+// emitInit emits I(Z0): unit constraints from the latch reset values
+// over fr's state variables.
+func emitInit(sys *model.System, f *cnf.Formula, fr frame) {
+	for i, iv := range sys.InitValues() {
+		if iv.Constrained {
+			f.AddUnit(cnf.MkLit(fr.state[i], !iv.Value))
+		}
+	}
+}
+
+// emitTransition emits one copy of TR(fr, next): clauses equating each
+// of next's state variables with the corresponding next-state function
+// evaluated over fr's leaves.
+func emitTransition(sys *model.System, f *cnf.Formula, fr, next frame) {
+	latches := sys.Circ.Latches()
+	for i := range latches {
+		nl := fr.enc.Lit(latches[i].Next)
+		v := cnf.PosLit(next.state[i])
+		f.Add(v.Neg(), nl)
+		f.Add(v, nl.Neg())
+	}
+}
+
+// emitBad encodes the bad cone over fr (assertion polarity) and returns
+// the CNF literal that is true iff the bad predicate holds at fr.
+func emitBad(sys *model.System, fr frame) cnf.Lit {
+	return fr.enc.LitAssert(sys.Bad)
+}
+
 // UnrollEncoding is the classical BMC instance: formula (1) of the
 // paper, with k copies of the transition relation.
 type UnrollEncoding struct {
@@ -28,53 +87,20 @@ type UnrollEncoding struct {
 // the transition relation, so the formula grows by |TR| per bound step —
 // the memory behaviour the paper sets out to avoid.
 func EncodeUnroll(sys *model.System, k int, mode tseitin.Mode) *UnrollEncoding {
-	g := sys.Circ
-	n := g.NumLatches()
-	ni := g.NumInputs()
 	f := &cnf.Formula{}
-
 	u := &UnrollEncoding{F: f, K: k}
-	u.StateVars = make([][]cnf.Var, k+1)
-	u.InputVars = make([][]cnf.Var, k+1)
+
+	frames := make([]frame, k+1)
 	for t := 0; t <= k; t++ {
-		u.StateVars[t] = f.NewVars(n)
-		u.InputVars[t] = f.NewVars(ni)
+		frames[t] = newFrame(sys, f, mode)
+		u.StateVars = append(u.StateVars, frames[t].state)
+		u.InputVars = append(u.InputVars, frames[t].inputs)
 	}
-
-	// I(Z0): unit constraints from the latch reset values.
-	for i, iv := range sys.InitValues() {
-		if iv.Constrained {
-			f.AddUnit(cnf.MkLit(u.StateVars[0][i], !iv.Value))
-		}
-	}
-
-	// One transition-relation copy per step.
-	latches := g.Latches()
+	emitInit(sys, f, frames[0])
 	for t := 0; t < k; t++ {
-		enc := tseitin.New(g, f, mode)
-		for i := 0; i < n; i++ {
-			enc.BindLit(g.LatchLit(i), u.StateVars[t][i])
-		}
-		for j, il := range g.Inputs() {
-			enc.BindLit(il, u.InputVars[t][j])
-		}
-		for i := range latches {
-			nl := enc.Lit(latches[i].Next)
-			v := cnf.PosLit(u.StateVars[t+1][i])
-			f.Add(v.Neg(), nl)
-			f.Add(v, nl.Neg())
-		}
+		emitTransition(sys, f, frames[t], frames[t+1])
 	}
-
-	// F(Zk): the bad cone over the last frame.
-	enc := tseitin.New(g, f, mode)
-	for i := 0; i < n; i++ {
-		enc.BindLit(g.LatchLit(i), u.StateVars[k][i])
-	}
-	for j, il := range g.Inputs() {
-		enc.BindLit(il, u.InputVars[k][j])
-	}
-	f.AddUnit(enc.LitAssert(sys.Bad))
+	f.AddUnit(emitBad(sys, frames[k]))
 	return u
 }
 
@@ -128,7 +154,7 @@ func SolveUnroll(sys *model.System, k int, opts UnrollOptions) Result {
 	switch s.Solve() {
 	case sat.Sat:
 		res.Status = Reachable
-		res.Witness = extractWitness(prepared, enc, s)
+		res.Witness = readWitness(enc.StateVars, enc.InputVars, enc.K, s)
 	case sat.Unsat:
 		res.Status = Unreachable
 	default:
@@ -139,15 +165,17 @@ func SolveUnroll(sys *model.System, k int, opts UnrollOptions) Result {
 	return res
 }
 
-func extractWitness(sys *model.System, enc *UnrollEncoding, s *sat.Solver) *Witness {
-	w := &Witness{K: enc.K}
-	for t := 0; t <= enc.K; t++ {
-		states := make([]bool, len(enc.StateVars[t]))
-		for i, v := range enc.StateVars[t] {
+// readWitness assembles the trace of frames 0..k from a satisfying
+// assignment over the per-frame leaf variables.
+func readWitness(stateVars, inputVars [][]cnf.Var, k int, s *sat.Solver) *Witness {
+	w := &Witness{K: k}
+	for t := 0; t <= k; t++ {
+		states := make([]bool, len(stateVars[t]))
+		for i, v := range stateVars[t] {
 			states[i] = s.Value(v) == cnf.True
 		}
-		inputs := make([]bool, len(enc.InputVars[t]))
-		for j, v := range enc.InputVars[t] {
+		inputs := make([]bool, len(inputVars[t]))
+		for j, v := range inputVars[t] {
 			inputs[j] = s.Value(v) == cnf.True
 		}
 		w.States = append(w.States, states)

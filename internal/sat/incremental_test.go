@@ -1,0 +1,126 @@
+package sat
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// addGuardedPigeonhole adds PHP(holes+1 pigeons, holes) to s, with every
+// clause guarded by ¬guard — the sub-formula is unsatisfiable exactly
+// when guard is assumed true, the shape incremental BMC uses for
+// per-frame property activation.
+func addGuardedPigeonhole(s *Solver, guard cnf.Lit, holes int) {
+	p := make([][]cnf.Var, holes+2)
+	for x := 1; x <= holes+1; x++ {
+		p[x] = make([]cnf.Var, holes+1)
+		for y := 1; y <= holes; y++ {
+			p[x][y] = s.NewVar()
+		}
+	}
+	for x := 1; x <= holes+1; x++ {
+		lits := []cnf.Lit{guard.Neg()}
+		for y := 1; y <= holes; y++ {
+			lits = append(lits, cnf.PosLit(p[x][y]))
+		}
+		s.AddClause(lits...)
+	}
+	for y := 1; y <= holes; y++ {
+		for x1 := 1; x1 <= holes+1; x1++ {
+			for x2 := x1 + 1; x2 <= holes+1; x2++ {
+				s.AddClause(guard.Neg(), cnf.NegLit(p[x1][y]), cnf.NegLit(p[x2][y]))
+			}
+		}
+	}
+}
+
+// TestLearnedClausesPersistAcrossAssumptionSets is the solver-reuse
+// regression test behind the incremental BMC engine: clauses learned
+// while solving under one assumption set must survive into later Solve
+// calls with disjoint assumption sets, and must make re-solving the
+// first query cheaper, not start it over.
+func TestLearnedClausesPersistAcrossAssumptionSets(t *testing.T) {
+	s := New(Options{})
+	g1 := cnf.PosLit(s.NewVar())
+	g2 := cnf.PosLit(s.NewVar())
+	addGuardedPigeonhole(s, g1, 5)
+	addGuardedPigeonhole(s, g2, 5)
+
+	if got := s.Solve(g1); got != Unsat {
+		t.Fatalf("PHP under g1: %v, want UNSAT", got)
+	}
+	learnt1 := s.NumLearnts()
+	conflicts1 := s.Stats.Conflicts
+	if learnt1 == 0 {
+		t.Fatalf("solving PHP produced no learned clauses")
+	}
+
+	// Disjoint assumption set: the learnt database must carry over.
+	if got := s.Solve(g2); got != Unsat {
+		t.Fatalf("PHP under g2: %v, want UNSAT", got)
+	}
+	if s.NumLearnts() < learnt1 {
+		t.Errorf("learned clauses dropped across Solve calls: %d -> %d", learnt1, s.NumLearnts())
+	}
+
+	// Re-solving the first query must benefit from the retained clauses.
+	before := s.Stats.Conflicts
+	if got := s.Solve(g1); got != Unsat {
+		t.Fatalf("PHP under g1, second time: %v, want UNSAT", got)
+	}
+	if redo := s.Stats.Conflicts - before; redo > conflicts1 {
+		t.Errorf("retained clauses did not help: first solve %d conflicts, re-solve %d", conflicts1, redo)
+	}
+
+	// With both guards off the formula is satisfiable: the guarded
+	// sub-formulas are switched off, not asserted.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("unguarded formula: %v, want SAT", got)
+	}
+	if got := s.Solve(g1.Neg(), g2.Neg()); got != Sat {
+		t.Fatalf("explicitly retired guards: %v, want SAT", got)
+	}
+}
+
+// TestReduceDBBoundsLearntMemory checks that learnt-clause deletion
+// keeps SizeBytes bounded across repeated incremental queries without
+// losing correctness.
+func TestReduceDBBoundsLearntMemory(t *testing.T) {
+	s := New(Options{})
+	g := cnf.PosLit(s.NewVar())
+	addGuardedPigeonhole(s, g, 7)
+
+	if got := s.Solve(g); got != Unsat {
+		t.Fatalf("PHP(7): %v, want UNSAT", got)
+	}
+	learnt0 := s.NumLearnts()
+	bytes0 := s.SizeBytes()
+	if learnt0 == 0 {
+		t.Fatalf("no learned clauses to delete")
+	}
+
+	removedBefore := s.Stats.Removed
+	s.ReduceDB()
+	if s.Stats.Removed == removedBefore {
+		t.Errorf("ReduceDB deleted nothing from %d learnts", learnt0)
+	}
+	if s.NumLearnts() > learnt0 || s.SizeBytes() > bytes0 {
+		t.Errorf("ReduceDB grew the database: learnts %d->%d, bytes %d->%d",
+			learnt0, s.NumLearnts(), bytes0, s.SizeBytes())
+	}
+
+	// Repeated solve/reduce cycles must stay bounded by the first
+	// solve's high water and keep answering correctly.
+	for i := 0; i < 5; i++ {
+		if got := s.Solve(g); got != Unsat {
+			t.Fatalf("cycle %d: %v, want UNSAT", i, got)
+		}
+		s.ReduceDB()
+		if s.SizeBytes() > 2*bytes0 {
+			t.Fatalf("cycle %d: SizeBytes %d not bounded (first-solve high water %d)", i, s.SizeBytes(), bytes0)
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("guard off after reductions: %v, want SAT", got)
+	}
+}

@@ -13,6 +13,19 @@ func (s *Solver) locked(c *clause) bool {
 	return s.value(l) == cnf.True && s.reason[l.Var()] == c
 }
 
+// ReduceDB shrinks the learnt-clause database now, outside of search —
+// the deletion that Solve schedules on its own as the database grows.
+// It gives incremental clients that keep one solver alive across many
+// queries a deterministic handle on retained-clause memory between
+// queries; the clause-retention regression tests drive deletion
+// through it.
+func (s *Solver) ReduceDB() {
+	if s.decisionLevel() != 0 {
+		panic("sat: ReduceDB called during search")
+	}
+	s.reduceDB()
+}
+
 // reduceDB removes roughly half of the learnt clauses, preferring to keep
 // low-LBD ("glue"), binary, high-activity, and locked clauses.
 func (s *Solver) reduceDB() {

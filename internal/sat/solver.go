@@ -161,6 +161,11 @@ func (s *Solver) NewVar() cnf.Var {
 	return v
 }
 
+// SetDeadline replaces the solve deadline, letting incremental clients
+// that keep one solver alive across many queries re-arm a per-query
+// timeout. A zero time removes the deadline.
+func (s *Solver) SetDeadline(t time.Time) { s.opts.Deadline = t }
+
 // NumVars returns the number of variables created.
 func (s *Solver) NumVars() int { return len(s.assigns) - 1 }
 

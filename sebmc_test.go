@@ -24,7 +24,7 @@ func TestFacadeAllEnginesAgree(t *testing.T) {
 	if want != 9 {
 		t.Fatalf("oracle says %d, want 9", want)
 	}
-	for _, engine := range []sebmc.Engine{sebmc.EngineSAT, sebmc.EngineJSAT} {
+	for _, engine := range []sebmc.Engine{sebmc.EngineSAT, sebmc.EngineSATIncr, sebmc.EngineJSAT} {
 		for k := 7; k <= 10; k++ {
 			r := sebmc.Check(sys, k, engine, sebmc.Options{})
 			wantStatus := sebmc.Unreachable
@@ -75,6 +75,18 @@ func TestFacadeDeepen(t *testing.T) {
 	if d.Status != sebmc.Reachable || d.FoundAt != 9 || d.Iterations != 10 {
 		t.Fatalf("deepen: %+v", d)
 	}
+	// The incremental fast path must agree bound-for-bound and surface a
+	// replayable witness.
+	di := sebmc.Deepen(sys, 16, sebmc.EngineSATIncr, sebmc.Options{})
+	if di.Status != sebmc.Reachable || di.FoundAt != 9 || di.Iterations != 10 {
+		t.Fatalf("incremental deepen: %+v", di)
+	}
+	if di.Witness == nil {
+		t.Fatalf("incremental deepen lost the witness")
+	}
+	if err := di.Witness.Validate(di.System); err != nil {
+		t.Fatalf("incremental deepen witness invalid: %v", err)
+	}
 	ds := sebmc.Deepen(sys, 16, sebmc.EngineQBFSquaring, sebmc.Options{NodeBudget: 200_000})
 	// Squaring schedule: 0,1,2,4,8,16 — found at 16 (first power ≥ 9) if
 	// the QBF solver survives; Unknown under budget is acceptable, a
@@ -100,7 +112,7 @@ func TestFacadeAIGERRoundtrip(t *testing.T) {
 }
 
 func TestParseEngine(t *testing.T) {
-	for _, name := range []string{"sat", "jsat", "qbf-linear", "qbf-squaring"} {
+	for _, name := range []string{"sat", "sat-incr", "jsat", "qbf-linear", "qbf-squaring"} {
 		e, err := sebmc.ParseEngine(name)
 		if err != nil || e.String() != name {
 			t.Errorf("ParseEngine(%q) = %v, %v", name, e, err)
