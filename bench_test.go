@@ -252,6 +252,47 @@ func BenchmarkDeepen_Incremental_d64(b *testing.B) { benchDeepen(b, true) }
 
 // Substrate micro-benchmarks: the hot paths under everything above.
 
+// benchPropagation loads one fixed CNF into a fresh solver per iteration,
+// solves it, and reports raw unit-propagation throughput — the number the
+// arena clause layout targets. The formula is encoded once outside the
+// timed loop so only solver work is measured.
+func benchPropagation(b *testing.B, f *cnf.Formula) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var props int64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		s := sat.New(sat.Options{})
+		for s.NumVars() < f.NumVars() {
+			s.NewVar()
+		}
+		for _, c := range f.Clauses {
+			if !s.AddClause(c...) {
+				break
+			}
+		}
+		s.Solve()
+		props += s.Stats.Propagations
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(props)/sec, "props/s")
+	}
+}
+
+// BenchmarkPropagation_LFSR_k64 is the depth-64 LFSR deepening workload's
+// final (satisfiable) bound, solved monolithically.
+func BenchmarkPropagation_LFSR_k64(b *testing.B) {
+	sys := bench.LFSRAtDepth(10, 0x204, 64)
+	benchPropagation(b, bmc.EncodeUnroll(sys, 64, tseitin.Full).F)
+}
+
+// BenchmarkPropagation_Table1Counter is a Table-1 suite-slice instance:
+// the deep counter family at a combinatorially non-trivial bound.
+func BenchmarkPropagation_Table1Counter(b *testing.B) {
+	sys := circuits.Counter(10, 500)
+	benchPropagation(b, bmc.EncodeUnroll(sys, 24, tseitin.Full).F)
+}
+
 func BenchmarkSAT_Pigeonhole7(b *testing.B) {
 	const n = 7
 	for i := 0; i < b.N; i++ {

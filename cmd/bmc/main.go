@@ -30,6 +30,7 @@ func main() {
 		pg        = flag.Bool("pg", false, "use the Plaisted-Greenbaum CNF transformation")
 		deepen    = flag.Bool("deepen", false, "iterate bounds 0..k and report the first counterexample")
 		prove     = flag.Bool("prove", false, "attempt a full safety proof by k-induction up to depth k")
+		stats     = flag.Bool("stats", false, "print solver effort statistics (conflicts, clause-DB bytes)")
 	)
 	flag.Parse()
 
@@ -98,6 +99,9 @@ func main() {
 		fmt.Printf(", %d universals, %d alternations", r.Formula.Universals, r.Formula.Alternations)
 	}
 	fmt.Println()
+	if *stats {
+		fmt.Printf("stats: conflicts=%d nodes=%d clause-db-peak=%dB\n", r.Conflicts, r.Nodes, r.PeakBytes)
+	}
 	if r.Status == sebmc.Reachable && r.Witness != nil {
 		if err := r.Witness.Validate(r.System); err != nil {
 			fatal(fmt.Errorf("bmc: internal error: invalid witness: %v", err))

@@ -62,9 +62,9 @@ func main() {
 	start := time.Now()
 	res := s.Solve()
 	if *stats {
-		fmt.Printf("c conflicts=%d decisions=%d propagations=%d restarts=%d time=%v\n",
+		fmt.Printf("c conflicts=%d decisions=%d propagations=%d restarts=%d clause-db=%dB time=%v\n",
 			s.Stats.Conflicts, s.Stats.Decisions, s.Stats.Propagations, s.Stats.Restarts,
-			time.Since(start).Round(time.Millisecond))
+			s.ClauseDBBytes(), time.Since(start).Round(time.Millisecond))
 	}
 	switch res {
 	case sat.Sat:

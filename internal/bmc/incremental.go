@@ -31,7 +31,7 @@ type IncrStats struct {
 	ClausesAdded int   // problem clauses pushed into the solver, total
 	VarsAdded    int   // solver variables created, total
 	Conflicts    int64 // CDCL conflicts, total
-	PeakBytes    int   // solver clause-database high water (SizeBytes)
+	PeakBytes    int   // solver clause-database high water (ClauseDBBytes)
 }
 
 // IncrementalUnroller is the persistent-solver BMC engine: one
@@ -93,7 +93,7 @@ func (u *IncrementalUnroller) flush() {
 		u.stats.ClausesAdded++
 		u.s.AddClause(u.f.Clauses[u.pushed]...)
 	}
-	if b := u.s.SizeBytes(); b > u.stats.PeakBytes {
+	if b := u.s.ClauseDBBytes(); b > u.stats.PeakBytes {
 		u.stats.PeakBytes = b
 	}
 }
@@ -167,7 +167,7 @@ func (u *IncrementalUnroller) CheckBound(k int) Result {
 	}
 	res.Conflicts = u.s.Stats.Conflicts - startConflicts
 	u.stats.Conflicts = u.s.Stats.Conflicts
-	if b := u.s.SizeBytes(); b > u.stats.PeakBytes {
+	if b := u.s.ClauseDBBytes(); b > u.stats.PeakBytes {
 		u.stats.PeakBytes = b
 	}
 	res.PeakBytes = u.stats.PeakBytes

@@ -161,7 +161,7 @@ func SolveUnroll(sys *model.System, k int, opts UnrollOptions) Result {
 		res.Status = Unknown
 	}
 	res.Conflicts = s.Stats.Conflicts
-	res.PeakBytes = s.SizeBytes()
+	res.PeakBytes = s.ClauseDBBytes()
 	return res
 }
 

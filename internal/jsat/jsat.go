@@ -198,7 +198,7 @@ func loadFormula(s *sat.Solver, f *cnf.Formula) {
 // copy, the init/bad cones, the path states, and the caches. This is the
 // paper's space claim made measurable (experiment E3).
 func (s *Solver) MemBytes() int {
-	n := s.step.SizeBytes() + s.init.SizeBytes()
+	n := s.step.ClauseDBBytes() + s.init.ClauseDBBytes()
 	n += len(s.cacheAtMost) * 32
 	for _, m := range s.cacheExact {
 		n += 32 + len(m)*16

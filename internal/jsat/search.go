@@ -148,6 +148,6 @@ func (s *Solver) formulaStats() bmc.FormulaStats {
 	return bmc.FormulaStats{
 		Vars:    s.step.NumVars() + s.init.NumVars(),
 		Clauses: s.step.NumClauses() + s.init.NumClauses(),
-		Bytes:   s.step.SizeBytes() + s.init.SizeBytes(),
+		Bytes:   s.step.ClauseDBBytes() + s.init.ClauseDBBytes(),
 	}
 }

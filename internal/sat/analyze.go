@@ -4,8 +4,10 @@ import "repro/internal/cnf"
 
 // analyze performs first-UIP conflict analysis, returning the learnt
 // clause (asserting literal first), the backtrack level, and the clause's
-// LBD (number of distinct decision levels).
-func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int, uint32) {
+// LBD (number of distinct decision levels). The returned slice is the
+// solver's reusable analysis buffer: record consumes it before the next
+// conflict, so no per-conflict copy is made.
+func (s *Solver) analyze(confl ClauseRef) ([]cnf.Lit, int, uint32) {
 	learnt := s.analyzeBuf[:0]
 	learnt = append(learnt, cnf.NoLit) // placeholder for the UIP
 
@@ -14,12 +16,24 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int, uint32) {
 	idx := len(s.trail) - 1
 
 	for {
-		s.bumpClause(confl)
+		// Materialize the conflict/reason literals. Arena clauses are a
+		// slab view; binary reasons are reconstructed from the ref.
+		var cl []cnf.Lit
+		switch {
+		case confl == crefBinConfl:
+			cl = s.binConfl[:]
+		case isBinReason(confl):
+			s.binScratch[0], s.binScratch[1] = p, binOther(confl)
+			cl = s.binScratch[:]
+		default:
+			s.bumpClause(confl)
+			cl = s.arena.lits(confl)
+		}
 		start := 0
 		if p != cnf.NoLit {
-			start = 1 // lits[0] is the propagated literal p itself
+			start = 1 // cl[0] is the propagated literal p itself
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range cl[start:] {
 			v := q.Var()
 			if s.seen[v] == 0 && s.level[v] > 0 {
 				s.bumpVar(v)
@@ -74,8 +88,7 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int, uint32) {
 	s.toClear = s.toClear[:0]
 
 	s.analyzeBuf = learnt
-	out := append([]cnf.Lit(nil), learnt...)
-	return out, btLevel, lbd
+	return learnt, btLevel, lbd
 }
 
 // minimize removes literals implied by the rest of the clause via their
@@ -88,7 +101,7 @@ func (s *Solver) minimize(learnt []cnf.Lit) []cnf.Lit {
 	}
 	out := learnt[:1]
 	for _, l := range learnt[1:] {
-		if s.reason[l.Var()] == nil || !s.litRedundant(l, levels) {
+		if s.reason[l.Var()] == crefUndef || !s.litRedundant(l, levels) {
 			out = append(out, l)
 		}
 	}
@@ -100,18 +113,27 @@ func abstractLevel(lvl int32) uint32 { return 1 << (uint32(lvl) & 31) }
 // litRedundant reports whether p is implied by seen literals, searching
 // the implication graph through reason clauses.
 func (s *Solver) litRedundant(p cnf.Lit, abstractLevels uint32) bool {
-	stack := []cnf.Lit{p}
+	stack := append(s.minStack[:0], p)
+	defer func() { s.minStack = stack[:0] }()
 	top := len(s.toClear)
 	for len(stack) > 0 {
 		q := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		c := s.reason[q.Var()]
-		for _, l := range c.lits[1:] {
+		// Tail literals of q's reason (everything but the implied
+		// literal itself).
+		var tail []cnf.Lit
+		if r := s.reason[q.Var()]; isBinReason(r) {
+			s.redScratch[0] = binOther(r)
+			tail = s.redScratch[:]
+		} else {
+			tail = s.arena.lits(r)[1:]
+		}
+		for _, l := range tail {
 			v := l.Var()
 			if s.seen[v] != 0 || s.level[v] == 0 {
 				continue
 			}
-			if s.reason[v] != nil && abstractLevel(s.level[v])&abstractLevels != 0 {
+			if s.reason[v] != crefUndef && abstractLevel(s.level[v])&abstractLevels != 0 {
 				s.seen[v] = 1
 				s.toClear = append(s.toClear, v)
 				stack = append(stack, l)
@@ -128,12 +150,22 @@ func (s *Solver) litRedundant(p cnf.Lit, abstractLevels uint32) bool {
 	return true
 }
 
+// computeLBD counts the distinct decision levels among lits using
+// per-level generation stamps — no per-conflict map allocation.
 func (s *Solver) computeLBD(lits []cnf.Lit) uint32 {
-	seen := map[int32]bool{}
+	s.lbdGen++
+	n := uint32(0)
 	for _, l := range lits {
-		seen[s.level[l.Var()]] = true
+		lvl := s.level[l.Var()]
+		for int(lvl) >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, 0)
+		}
+		if s.lbdStamp[lvl] != s.lbdGen {
+			s.lbdStamp[lvl] = s.lbdGen
+			n++
+		}
 	}
-	return uint32(len(seen))
+	return n
 }
 
 // analyzeFinal computes the failed-assumption set after an assumption
@@ -152,12 +184,17 @@ func (s *Solver) analyzeFinal(p cnf.Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		switch r := s.reason[v]; {
+		case r == crefUndef:
 			// A decision: under assumption solving all decisions at
 			// these levels are assumptions.
 			s.conflict = append(s.conflict, s.trail[i].Neg())
-		} else {
-			for _, l := range s.reason[v].lits[1:] {
+		case isBinReason(r):
+			if o := binOther(r); s.level[o.Var()] > 0 {
+				s.seen[o.Var()] = 1
+			}
+		default:
+			for _, l := range s.arena.lits(r)[1:] {
 				if s.level[l.Var()] > 0 {
 					s.seen[l.Var()] = 1
 				}
@@ -180,14 +217,17 @@ func (s *Solver) bumpVar(v cnf.Var) {
 	s.order.update(v)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	if !c.learnt {
+// bumpClause bumps a learnt arena clause's activity. Binary clauses
+// carry no activity: they are never candidates for deletion.
+func (s *Solver) bumpClause(c ClauseRef) {
+	if !s.arena.learnt(c) {
 		return
 	}
-	c.act += float32(s.claInc)
-	if c.act > 1e20 {
+	act := s.arena.act(c) + float32(s.claInc)
+	s.arena.setAct(c, act)
+	if act > 1e20 {
 		for _, lc := range s.learnts {
-			lc.act *= 1e-20
+			s.arena.setAct(lc, s.arena.act(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}

@@ -1,0 +1,144 @@
+package sat
+
+import (
+	"math"
+
+	"repro/internal/cnf"
+)
+
+// This file implements the flat clause arena. All clauses of length ≥ 3
+// live in one contiguous slab of 32-bit words; a clause is identified by
+// a ClauseRef, the word index of its header. Length-2 clauses never
+// enter the arena at all — they are inlined into dedicated binary watch
+// lists (see solver.go) and, when acting as reasons, encoded directly
+// into the ClauseRef itself.
+//
+// Clause layout, in 32-bit words:
+//
+//	header                 size<<3 | dead<<2 | reloc<<1 | learnt
+//	problem clause         [header, lit0, lit1, ...]
+//	learnt clause          [header, activity (float32 bits), lbd, lit0, lit1, ...]
+//
+// The slab is typed []cnf.Lit (cnf.Lit is a uint32) so that a clause's
+// literals are an ordinary sub-slice of the slab: the propagation loop
+// swaps watched literals in place with no indirection and no per-clause
+// allocation. Header, activity and LBD words are bit-converted through
+// the same element type.
+//
+// Deletion is deferred: reduceDB only marks clauses dead, and a
+// compacting garbage-collection pass (Solver.garbageCollect) copies the
+// live clauses into a fresh slab, storing a forwarding reference in word
+// 1 of each moved clause so every watcher, reason and clause-list entry
+// can be rewritten in one sweep — no linear watch-list scans per deleted
+// clause.
+
+// ClauseRef identifies a clause: the word offset of its header in the
+// arena slab. Two special values and one encoding share the space —
+// safely, because the slab is capped below 2^31 words:
+//
+//	crefUndef      no clause (the nil reason)
+//	crefBinConfl   a conflict found in the binary watch lists; the
+//	               conflicting pair is in Solver.binConfl
+//	bit 31 set     an inlined binary reason; the low bits are the
+//	               clause's other literal
+type ClauseRef uint32
+
+const (
+	crefUndef    ClauseRef = math.MaxUint32
+	crefBinConfl ClauseRef = math.MaxUint32 - 1
+	crefBinFlag  ClauseRef = 1 << 31
+)
+
+// binReason encodes the binary clause {implied, other} as the reason of
+// its implied literal.
+func binReason(other cnf.Lit) ClauseRef { return crefBinFlag | ClauseRef(other) }
+
+// isBinReason reports whether r encodes an inlined binary clause.
+func isBinReason(r ClauseRef) bool {
+	return r&crefBinFlag != 0 && r != crefUndef && r != crefBinConfl
+}
+
+// binOther returns the non-implied literal of an inlined binary reason.
+func binOther(r ClauseRef) cnf.Lit { return cnf.Lit(r &^ crefBinFlag) }
+
+// Header bit assignments.
+const (
+	hdrLearnt    = 1 << 0
+	hdrReloc     = 1 << 1
+	hdrDead      = 1 << 2
+	hdrSizeShift = 3
+)
+
+// maxArenaWords keeps real refs disjoint from the binary-reason encoding
+// and the sentinel values.
+const maxArenaWords = 1 << 31
+
+// arena is the growable clause slab.
+type arena struct {
+	data []cnf.Lit
+}
+
+// alloc appends a clause and returns its reference. The literals are
+// copied into the slab; the caller's slice is not retained.
+func (a *arena) alloc(lits []cnf.Lit, learnt bool) ClauseRef {
+	hdr := uint32(len(lits)) << hdrSizeShift
+	extra := 1
+	if learnt {
+		hdr |= hdrLearnt
+		extra = 3
+	}
+	if len(a.data)+extra+len(lits) > maxArenaWords {
+		panic("sat: clause arena exceeds 2^31 words")
+	}
+	c := ClauseRef(len(a.data))
+	a.data = append(a.data, cnf.Lit(hdr))
+	if learnt {
+		a.data = append(a.data, 0, 0) // activity, LBD
+	}
+	a.data = append(a.data, lits...)
+	return c
+}
+
+func (a *arena) header(c ClauseRef) uint32 { return uint32(a.data[c]) }
+func (a *arena) size(c ClauseRef) int      { return int(a.header(c) >> hdrSizeShift) }
+func (a *arena) learnt(c ClauseRef) bool   { return a.header(c)&hdrLearnt != 0 }
+func (a *arena) dead(c ClauseRef) bool     { return a.header(c)&hdrDead != 0 }
+func (a *arena) setDead(c ClauseRef)       { a.data[c] |= hdrDead }
+
+// lits returns the clause's literals as a view into the slab. Mutations
+// (the watched-literal swaps in propagate) write through to the arena.
+func (a *arena) lits(c ClauseRef) []cnf.Lit {
+	base := c + 1
+	if a.header(c)&hdrLearnt != 0 {
+		base += 2
+	}
+	end := base + ClauseRef(a.size(c))
+	return a.data[base:end:end]
+}
+
+func (a *arena) act(c ClauseRef) float32        { return math.Float32frombits(uint32(a.data[c+1])) }
+func (a *arena) setAct(c ClauseRef, v float32)  { a.data[c+1] = cnf.Lit(math.Float32bits(v)) }
+func (a *arena) lbd(c ClauseRef) uint32         { return uint32(a.data[c+2]) }
+func (a *arena) setLBD(c ClauseRef, lbd uint32) { a.data[c+2] = cnf.Lit(lbd) }
+
+// bytes is the slab footprint — the clause-database number the E3
+// experiments report.
+func (a *arena) bytes() int { return len(a.data) * 4 }
+
+// reloc copies c into the destination arena, preserving flags, activity,
+// LBD and literals, and leaves a forwarding reference behind so later
+// reloc calls for the same clause return the same new reference.
+func (a *arena) reloc(c ClauseRef, to *arena) ClauseRef {
+	if a.header(c)&hdrReloc != 0 {
+		return ClauseRef(a.data[c+1])
+	}
+	learnt := a.learnt(c)
+	n := to.alloc(a.lits(c), learnt)
+	if learnt {
+		to.setAct(n, a.act(c))
+		to.setLBD(n, a.lbd(c))
+	}
+	a.data[c] |= hdrReloc
+	a.data[c+1] = cnf.Lit(n)
+	return n
+}

@@ -83,7 +83,7 @@ func TestLearnedClausesPersistAcrossAssumptionSets(t *testing.T) {
 }
 
 // TestReduceDBBoundsLearntMemory checks that learnt-clause deletion
-// keeps SizeBytes bounded across repeated incremental queries without
+// keeps ClauseDBBytes bounded across repeated incremental queries without
 // losing correctness.
 func TestReduceDBBoundsLearntMemory(t *testing.T) {
 	s := New(Options{})
@@ -94,7 +94,7 @@ func TestReduceDBBoundsLearntMemory(t *testing.T) {
 		t.Fatalf("PHP(7): %v, want UNSAT", got)
 	}
 	learnt0 := s.NumLearnts()
-	bytes0 := s.SizeBytes()
+	bytes0 := s.ClauseDBBytes()
 	if learnt0 == 0 {
 		t.Fatalf("no learned clauses to delete")
 	}
@@ -104,9 +104,9 @@ func TestReduceDBBoundsLearntMemory(t *testing.T) {
 	if s.Stats.Removed == removedBefore {
 		t.Errorf("ReduceDB deleted nothing from %d learnts", learnt0)
 	}
-	if s.NumLearnts() > learnt0 || s.SizeBytes() > bytes0 {
+	if s.NumLearnts() > learnt0 || s.ClauseDBBytes() > bytes0 {
 		t.Errorf("ReduceDB grew the database: learnts %d->%d, bytes %d->%d",
-			learnt0, s.NumLearnts(), bytes0, s.SizeBytes())
+			learnt0, s.NumLearnts(), bytes0, s.ClauseDBBytes())
 	}
 
 	// Repeated solve/reduce cycles must stay bounded by the first
@@ -116,8 +116,8 @@ func TestReduceDBBoundsLearntMemory(t *testing.T) {
 			t.Fatalf("cycle %d: %v, want UNSAT", i, got)
 		}
 		s.ReduceDB()
-		if s.SizeBytes() > 2*bytes0 {
-			t.Fatalf("cycle %d: SizeBytes %d not bounded (first-solve high water %d)", i, s.SizeBytes(), bytes0)
+		if s.ClauseDBBytes() > 2*bytes0 {
+			t.Fatalf("cycle %d: ClauseDBBytes %d not bounded (first-solve high water %d)", i, s.ClauseDBBytes(), bytes0)
 		}
 	}
 	if got := s.Solve(); got != Sat {

@@ -8,8 +8,8 @@ import (
 
 // locked reports whether c is currently the reason of an assignment and
 // therefore must not be deleted.
-func (s *Solver) locked(c *clause) bool {
-	l := c.lits[0]
+func (s *Solver) locked(c ClauseRef) bool {
+	l := s.arena.lits(c)[0]
 	return s.value(l) == cnf.True && s.reason[l.Var()] == c
 }
 
@@ -26,30 +26,75 @@ func (s *Solver) ReduceDB() {
 	s.reduceDB()
 }
 
-// reduceDB removes roughly half of the learnt clauses, preferring to keep
-// low-LBD ("glue"), binary, high-activity, and locked clauses.
+// reduceDB removes roughly half of the learnt clauses, preferring to
+// keep low-LBD ("glue"), high-activity, and locked clauses. Binary
+// learnts live inline in the watch lists and are never deleted, so the
+// old orderer's length-2 preference is implicit. Deletion only marks
+// clauses dead; the compaction pass below reclaims the space and
+// rewrites all references in one sweep.
 func (s *Solver) reduceDB() {
+	a := &s.arena
 	sort.Slice(s.learnts, func(i, j int) bool {
-		a, b := s.learnts[i], s.learnts[j]
-		if (a.lbd <= 2) != (b.lbd <= 2) {
-			return a.lbd <= 2
+		x, y := s.learnts[i], s.learnts[j]
+		if (a.lbd(x) <= 2) != (a.lbd(y) <= 2) {
+			return a.lbd(x) <= 2
 		}
-		if (len(a.lits) == 2) != (len(b.lits) == 2) {
-			return len(a.lits) == 2
-		}
-		return a.act > b.act
+		return a.act(x) > a.act(y)
 	})
 	// Best clauses sorted first; delete what is deletable in the back half.
 	limit := len(s.learnts) / 2
 	kept := s.learnts[:0]
+	dead := 0
 	for i, c := range s.learnts {
-		if i < limit || len(c.lits) == 2 || c.lbd <= 2 || s.locked(c) {
+		if i < limit || a.lbd(c) <= 2 || s.locked(c) {
 			kept = append(kept, c)
 			continue
 		}
-		s.detach(c)
+		a.setDead(c)
+		dead++
 		s.Stats.Removed++
 	}
 	s.learnts = kept
 	s.maxLearnts *= 1.1
+	// Compacting is a full arena copy plus a sweep of every watch list;
+	// skip it when this pass deleted nothing.
+	if dead > 0 {
+		s.garbageCollect()
+	}
+}
+
+// garbageCollect compacts the arena: every live clause is copied into a
+// fresh slab and every watcher, reason, and clause-list reference is
+// rewritten to the relocated position via the forwarding references the
+// copies leave behind. Dead clauses are simply dropped from the watch
+// lists as they are swept — there is no per-deletion linear watch scan.
+// Reasons only ever point at locked (hence live) clauses, so rewriting
+// the trail's reasons is safe at any decision level.
+func (s *Solver) garbageCollect() {
+	to := arena{data: make([]cnf.Lit, 0, len(s.arena.data))}
+	for li := range s.watches {
+		ws := s.watches[li]
+		kept := ws[:0]
+		for _, w := range ws {
+			if s.arena.dead(w.ref) {
+				continue
+			}
+			w.ref = s.arena.reloc(w.ref, &to)
+			kept = append(kept, w)
+		}
+		s.watches[li] = kept
+	}
+	for _, l := range s.trail {
+		v := l.Var()
+		if r := s.reason[v]; r != crefUndef && !isBinReason(r) {
+			s.reason[v] = s.arena.reloc(r, &to)
+		}
+	}
+	for i, c := range s.clauses {
+		s.clauses[i] = s.arena.reloc(c, &to)
+	}
+	for i, c := range s.learnts {
+		s.learnts[i] = s.arena.reloc(c, &to)
+	}
+	s.arena = to
 }

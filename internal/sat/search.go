@@ -6,6 +6,11 @@ import (
 	"repro/internal/cnf"
 )
 
+// deadlineExpired polls the wall clock against the configured deadline.
+func (s *Solver) deadlineExpired() bool {
+	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
+}
+
 // Solve determines satisfiability of the clause set under the given
 // assumption literals. It returns Sat, Unsat, or Unknown when a budget
 // from Options was exhausted. After Sat, Model holds a satisfying
@@ -23,7 +28,7 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	s.conflictsCur = 0
 
 	if s.maxLearnts == 0 {
-		s.maxLearnts = float64(len(s.clauses)) / 3
+		s.maxLearnts = float64(s.NumClauses()) / 3
 		if s.maxLearnts < 1000 {
 			s.maxLearnts = 1000
 		}
@@ -32,12 +37,13 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	startConflicts := s.Stats.Conflicts
 	startProps := s.Stats.Propagations
 	deadlineCheck := int64(0)
+	decisionCheck := int64(0)
 
 	defer s.cancelUntil(0)
 
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.Stats.Conflicts++
 			s.conflictsCur++
 			if s.decisionLevel() == 0 {
@@ -57,7 +63,7 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 				return Unknown
 			}
 			deadlineCheck++
-			if !s.opts.Deadline.IsZero() && deadlineCheck%64 == 0 && time.Now().After(s.opts.Deadline) {
+			if deadlineCheck%64 == 0 && s.deadlineExpired() {
 				return Unknown
 			}
 			continue
@@ -69,6 +75,9 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			s.conflictsCur = 0
 			s.Stats.Restarts++
 			s.cancelUntil(0)
+			if s.deadlineExpired() {
+				return Unknown
+			}
 			continue
 		}
 		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
@@ -100,9 +109,16 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 				return Sat
 			}
 			s.Stats.Decisions++
+			// A conflict-free run never reaches the per-conflict poll
+			// above, so easy satisfiable instances must re-check the
+			// deadline on the decision path too.
+			decisionCheck++
+			if decisionCheck%256 == 0 && s.deadlineExpired() {
+				return Unknown
+			}
 		}
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, crefUndef)
 	}
 }
 
@@ -148,46 +164,73 @@ func (s *Solver) phasedLit(v cnf.Var) cnf.Lit {
 }
 
 // propagate performs unit propagation over the two-watch scheme,
-// returning the conflicting clause or nil.
-func (s *Solver) propagate() *clause {
+// returning the conflicting clause reference or crefUndef. Binary
+// clauses take a dedicated fast path: their implied literal sits inline
+// in the watch list, so propagating them touches no arena memory at all.
+func (s *Solver) propagate() ClauseRef {
+	// Hot-loop locals: vals and the arena slab are only written
+	// element-wise during propagation (never grown), so caching the
+	// slice headers here saves a reload through s on every access.
+	vals := s.vals
+	data := s.arena.data
+	props := int64(0)
+	defer func() { s.Stats.Propagations += props }()
+
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
-		s.Stats.Propagations++
+		props++
+
+		// Binary fast path: the implied literal is inline in the watch
+		// list, so no clause memory is touched at all.
+		for _, other := range s.binWatches[p] {
+			switch vals[other] {
+			case cnf.False:
+				s.binConfl[0], s.binConfl[1] = p.Neg(), other
+				s.qhead = len(s.trail)
+				return crefBinConfl
+			case cnf.Undef:
+				s.uncheckedEnqueue(other, binReason(p.Neg()))
+			}
+		}
 
 		ws := s.watches[p]
 		kept := ws[:0]
-		var confl *clause
+		confl := crefUndef
 	watchLoop:
 		for wi := 0; wi < len(ws); wi++ {
 			w := ws[wi]
-			if s.value(w.blocker) == cnf.True {
+			if vals[w.blocker] == cnf.True {
 				kept = append(kept, w)
 				continue
 			}
-			c := w.c
-			lits := c.lits
+			hdr := uint32(data[w.ref])
+			base := int(w.ref) + 1
+			if hdr&hdrLearnt != 0 {
+				base += 2
+			}
+			lits := data[base : base+int(hdr>>hdrSizeShift)]
 			// Make sure the false literal (¬p) is at position 1.
 			if lits[0] == p.Neg() {
 				lits[0], lits[1] = lits[1], lits[0]
 			}
 			first := lits[0]
-			if first != w.blocker && s.value(first) == cnf.True {
-				kept = append(kept, watcher{c, first})
+			if first != w.blocker && vals[first] == cnf.True {
+				kept = append(kept, watcher{w.ref, first})
 				continue
 			}
 			// Look for a new literal to watch.
 			for k := 2; k < len(lits); k++ {
-				if s.value(lits[k]) != cnf.False {
+				if vals[lits[k]] != cnf.False {
 					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{c, first})
+					s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{w.ref, first})
 					continue watchLoop
 				}
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, watcher{c, first})
-			if s.value(first) == cnf.False {
-				confl = c
+			kept = append(kept, watcher{w.ref, first})
+			if vals[first] == cnf.False {
+				confl = w.ref
 				s.qhead = len(s.trail)
 				// Copy the remaining watchers back before bailing out.
 				for wi++; wi < len(ws); wi++ {
@@ -195,30 +238,39 @@ func (s *Solver) propagate() *clause {
 				}
 				break
 			}
-			s.uncheckedEnqueue(first, c)
+			s.uncheckedEnqueue(first, w.ref)
 		}
 		s.watches[p] = kept
-		if confl != nil {
+		if confl != crefUndef {
 			return confl
 		}
 	}
-	return nil
+	return crefUndef
 }
 
 // record attaches a learnt clause and enqueues its asserting literal.
+// The learnt slice is consumed immediately (copied into the arena or the
+// binary lists), so callers may reuse its backing array.
 func (s *Solver) record(learnt []cnf.Lit, lbd uint32) {
 	s.Stats.Learned++
-	if len(learnt) == 1 {
-		s.uncheckedEnqueue(learnt[0], nil)
+	switch len(learnt) {
+	case 1:
+		s.uncheckedEnqueue(learnt[0], crefUndef)
 		return
+	case 2:
+		s.addBinary(learnt[0], learnt[1], true)
+		s.uncheckedEnqueue(learnt[0], binReason(learnt[1]))
+	default:
+		c := s.arena.alloc(learnt, true)
+		s.arena.setAct(c, float32(s.claInc))
+		s.arena.setLBD(c, lbd)
+		s.learnts = append(s.learnts, c)
+		s.attach(c)
+		s.uncheckedEnqueue(learnt[0], c)
 	}
-	c := &clause{lits: append([]cnf.Lit(nil), learnt...), learnt: true, lbd: lbd, act: float32(s.claInc)}
-	s.learnts = append(s.learnts, c)
-	if int64(len(s.learnts)) > s.Stats.MaxLearnts {
-		s.Stats.MaxLearnts = int64(len(s.learnts))
+	if n := int64(s.NumLearnts()); n > s.Stats.MaxLearnts {
+		s.Stats.MaxLearnts = n
 	}
-	s.attach(c)
-	s.uncheckedEnqueue(learnt[0], c)
 }
 
 func (s *Solver) decayActivities() {

@@ -4,6 +4,21 @@
 // clause minimization, Luby restarts, activity/LBD-based learnt-clause
 // deletion, and incremental solving under assumptions.
 //
+// Clause storage is arena-backed: every clause of length ≥ 3 lives in
+// one contiguous slab of 32-bit words (header, then for learnt clauses
+// an activity and an LBD word, then the literals) and is identified by a
+// ClauseRef — the word offset of its header — instead of a pointer.
+// Length-2 clauses are specialized away entirely: they are inlined into
+// dedicated binary watch lists, propagated without touching the arena,
+// and encoded directly into the ClauseRef when they act as reasons.
+// Learnt-clause deletion marks clauses dead and then compacts the slab
+// in a single garbage-collection pass that relocates the live clauses
+// and rewrites every watch, reason, and clause-list reference. See
+// arena.go for the exact layout. The flat store is both the speed and
+// the honesty of the reproduction's space story: propagation chases no
+// pointers, and ClauseDBBytes reports the clause database's true
+// footprint for the E3 memory experiments rather than a Go-heap guess.
+//
 // The solver is the workhorse of the reproduction: classical BMC solves
 // the unrolled formula (1) with it directly, and the paper's
 // special-purpose jSAT procedure (internal/jsat) drives it incrementally,
@@ -47,7 +62,8 @@ type Options struct {
 	// PropagationBudget, when positive, bounds literal propagations.
 	PropagationBudget int64
 	// Deadline, when non-zero, aborts the solve with Unknown once passed.
-	// It is checked every few hundred conflicts.
+	// It is polled every few dozen conflicts, every few hundred
+	// decisions, and at every restart, so conflict-free runs stop too.
 	Deadline time.Time
 
 	// DisableVSIDS branches on the lowest-indexed unassigned variable
@@ -72,15 +88,9 @@ type Stats struct {
 	MaxLearnts   int64 // high-water mark of the learnt database
 }
 
-type clause struct {
-	lits   []cnf.Lit
-	act    float32
-	lbd    uint32
-	learnt bool
-}
-
+// watcher is one entry of a ≥3-literal watch list.
 type watcher struct {
-	c       *clause
+	ref     ClauseRef
 	blocker cnf.Lit // cached literal; if true the clause is satisfied
 }
 
@@ -92,13 +102,23 @@ type Solver struct {
 	opts  Options
 	Stats Stats
 
-	clauses []*clause
-	learnts []*clause
-	watches [][]watcher // indexed by literal
+	arena   arena
+	clauses []ClauseRef // problem clauses of length ≥ 3
+	learnts []ClauseRef // learnt clauses of length ≥ 3
+
+	// Binary clauses are not in the arena: they live inline in
+	// binWatches and are additionally listed here for enumeration and
+	// accounting. Binary learnts are glue and are never deleted.
+	binClauses [][2]cnf.Lit
+	binLearnts [][2]cnf.Lit
+
+	watches    [][]watcher // indexed by literal: ≥3-literal clauses
+	binWatches [][]cnf.Lit // indexed by literal: other literal per binary clause
 
 	assigns  []cnf.Value // per variable
+	vals     []cnf.Value // per literal: vals[l] is l's truth value
 	level    []int32
-	reason   []*clause
+	reason   []ClauseRef
 	trail    []cnf.Lit
 	trailLim []int
 	qhead    int
@@ -114,6 +134,13 @@ type Solver struct {
 	seen       []uint8
 	toClear    []cnf.Var
 	analyzeBuf []cnf.Lit
+	binConfl   [2]cnf.Lit // conflicting pair behind a crefBinConfl
+	binScratch [2]cnf.Lit // materialized binary reason during analyze
+	redScratch [1]cnf.Lit // materialized binary reason during minimization
+	minStack   []cnf.Lit  // litRedundant work list
+	lbdStamp   []uint32   // per-level generation marks for computeLBD
+	lbdGen     uint32
+	addBuf     []cnf.Lit // AddClause normalization scratch
 
 	assumptions []cnf.Lit
 	conflict    []cnf.Lit // failed-assumption clause after Unsat-under-assumptions
@@ -137,12 +164,14 @@ func New(opts Options) *Solver {
 	}
 	// Variable 0 is unused; keep arrays aligned with cnf.Var numbering.
 	s.assigns = append(s.assigns, cnf.Undef)
+	s.vals = append(s.vals, cnf.Undef, cnf.Undef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, crefUndef)
 	s.activity = append(s.activity, 0)
 	s.polarity = append(s.polarity, false)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
 	s.order.solver = s
 	return s
 }
@@ -151,12 +180,14 @@ func New(opts Options) *Solver {
 func (s *Solver) NewVar() cnf.Var {
 	v := cnf.Var(len(s.assigns))
 	s.assigns = append(s.assigns, cnf.Undef)
+	s.vals = append(s.vals, cnf.Undef, cnf.Undef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, crefUndef)
 	s.activity = append(s.activity, 0)
 	s.polarity = append(s.polarity, false)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
 	s.order.insert(v)
 	return v
 }
@@ -170,38 +201,39 @@ func (s *Solver) SetDeadline(t time.Time) { s.opts.Deadline = t }
 func (s *Solver) NumVars() int { return len(s.assigns) - 1 }
 
 // NumClauses returns the number of problem clauses currently stored.
-func (s *Solver) NumClauses() int { return len(s.clauses) }
+func (s *Solver) NumClauses() int { return len(s.clauses) + len(s.binClauses) }
 
 // NumLearnts returns the number of learnt clauses currently stored.
-func (s *Solver) NumLearnts() int { return len(s.learnts) }
+func (s *Solver) NumLearnts() int { return len(s.learnts) + len(s.binLearnts) }
 
 // Okay reports whether the clause set is not yet known to be
 // unsatisfiable at the top level.
 func (s *Solver) Okay() bool { return s.ok }
 
-// SizeBytes estimates the live memory of the clause database (problem
-// plus learnt clauses), the measure used by experiment E3.
-func (s *Solver) SizeBytes() int {
-	const clauseOverhead = 48
-	n := 0
-	for _, c := range s.clauses {
-		n += len(c.lits)*4 + clauseOverhead
+// ClauseDBBytes reports the exact clause-database footprint: the arena
+// slab, the inlined binary clauses, and the watch lists. This is the
+// measure used by experiment E3 — it counts the solver's own structures,
+// so peak-bytes-vs-bound curves reflect the algorithm, not Go-heap
+// noise. Between garbage collections the slab holds no dead space, so
+// the arena term equals the analytic clause-storage size (one header
+// word per clause, plus activity and LBD words for learnts, plus one
+// word per literal).
+func (s *Solver) ClauseDBBytes() int {
+	n := s.arena.bytes()
+	n += (len(s.binClauses) + len(s.binLearnts)) * 8
+	for _, ws := range s.watches {
+		n += cap(ws) * 8
 	}
-	for _, c := range s.learnts {
-		n += len(c.lits)*4 + clauseOverhead
+	for _, bs := range s.binWatches {
+		n += cap(bs) * 4
 	}
-	n += len(s.watches) * 24
-	n += len(s.assigns) * (1 + 4 + 8 + 8 + 1 + 1)
+	n += (len(s.watches) + len(s.binWatches)) * 24 // slice headers
 	return n
 }
 
-func (s *Solver) value(l cnf.Lit) cnf.Value {
-	v := s.assigns[l.Var()]
-	if l.IsNeg() {
-		return v.Not()
-	}
-	return v
-}
+// value returns l's truth value from the literal-indexed table: a
+// single load, no sign branch — the innermost operation of propagate.
+func (s *Solver) value(l cnf.Lit) cnf.Value { return s.vals[l] }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
@@ -215,20 +247,39 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 	if !s.ok {
 		return false
 	}
-	c := cnf.Clause(append([]cnf.Lit(nil), lits...))
-	for _, l := range c {
+	// Normalize in a reusable scratch buffer: the literals end up copied
+	// into the arena or the binary lists, never retained from here. The
+	// sort is a hand-rolled insertion sort — clauses are short and this
+	// is the hottest loading path, so no sort.Slice machinery.
+	buf := append(s.addBuf[:0], lits...)
+	s.addBuf = buf
+	for _, l := range buf {
 		if int(l.Var()) >= len(s.assigns) || l.Var() == cnf.NoVar {
 			panic("sat: clause mentions unknown variable")
 		}
 	}
-	nc, taut := c.Normalize()
-	if taut {
-		return true
+	for i := 1; i < len(buf); i++ {
+		x := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] > x {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = x
 	}
-	// Remove literals already false at level 0; drop the clause when a
-	// literal is already true.
-	out := nc[:0]
-	for _, l := range nc {
+	// One sweep over the sorted literals: drop duplicates, detect
+	// tautologies (a literal next to its own negation), drop literals
+	// already false at level 0, and drop the clause when one is true.
+	out := buf[:0]
+	prev := cnf.NoLit // literal 0 never occurs in a valid clause
+	for _, l := range buf {
+		if l == prev {
+			continue
+		}
+		if prev != cnf.NoLit && l == prev.Neg() {
+			return true
+		}
+		prev = l
 		switch s.value(l) {
 		case cnf.True:
 			return true
@@ -241,40 +292,41 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		s.ok = s.propagate() == nil
+		s.uncheckedEnqueue(out[0], crefUndef)
+		s.ok = s.propagate() == crefUndef
 		return s.ok
+	case 2:
+		s.addBinary(out[0], out[1], false)
+		return true
 	}
-	cl := &clause{lits: append([]cnf.Lit(nil), out...)}
-	s.clauses = append(s.clauses, cl)
-	s.attach(cl)
+	ref := s.arena.alloc(out, false)
+	s.clauses = append(s.clauses, ref)
+	s.attach(ref)
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, c.lits[0]})
-}
-
-func (s *Solver) detach(c *clause) {
-	s.removeWatch(c.lits[0].Neg(), c)
-	s.removeWatch(c.lits[1].Neg(), c)
-}
-
-func (s *Solver) removeWatch(l cnf.Lit, c *clause) {
-	ws := s.watches[l]
-	for i := range ws {
-		if ws[i].c == c {
-			ws[i] = ws[len(ws)-1]
-			s.watches[l] = ws[:len(ws)-1]
-			return
-		}
+// addBinary inlines a two-literal clause into the binary watch lists.
+func (s *Solver) addBinary(a, b cnf.Lit, learnt bool) {
+	s.binWatches[a.Neg()] = append(s.binWatches[a.Neg()], b)
+	s.binWatches[b.Neg()] = append(s.binWatches[b.Neg()], a)
+	if learnt {
+		s.binLearnts = append(s.binLearnts, [2]cnf.Lit{a, b})
+	} else {
+		s.binClauses = append(s.binClauses, [2]cnf.Lit{a, b})
 	}
 }
 
-func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
+func (s *Solver) attach(c ClauseRef) {
+	lits := s.arena.lits(c)
+	s.watches[lits[0].Neg()] = append(s.watches[lits[0].Neg()], watcher{c, lits[1]})
+	s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{c, lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from ClauseRef) {
 	v := l.Var()
 	s.assigns[v] = cnf.BoolValue(!l.IsNeg())
+	s.vals[l] = cnf.True
+	s.vals[l.Neg()] = cnf.False
 	s.level[v] = int32(s.decisionLevel())
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
@@ -289,12 +341,15 @@ func (s *Solver) cancelUntil(lvl int) {
 	}
 	bound := s.trailLim[lvl]
 	for i := len(s.trail) - 1; i >= bound; i-- {
-		v := s.trail[i].Var()
+		l := s.trail[i]
+		v := l.Var()
 		if !s.opts.DisablePhaseSaving {
 			s.polarity[v] = s.assigns[v] == cnf.True
 		}
 		s.assigns[v] = cnf.Undef
-		s.reason[v] = nil
+		s.vals[l] = cnf.Undef
+		s.vals[l.Neg()] = cnf.Undef
+		s.reason[v] = crefUndef
 		s.order.insert(v)
 	}
 	s.trail = s.trail[:bound]

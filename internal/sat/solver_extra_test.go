@@ -32,17 +32,19 @@ func TestReduceDBTriggered(t *testing.T) {
 	}
 	if res == Sat {
 		// Model must satisfy all ORIGINAL clauses.
-		for _, c := range s.clauses {
-			sat := false
-			for _, l := range c.lits {
+		check := func(lits []cnf.Lit) {
+			for _, l := range lits {
 				if s.LitValue(l) == cnf.True {
-					sat = true
-					break
+					return
 				}
 			}
-			if !sat {
-				t.Fatalf("model violates original clause after reduceDB")
-			}
+			t.Fatalf("model violates original clause after reduceDB")
+		}
+		for _, c := range s.clauses {
+			check(s.arena.lits(c))
+		}
+		for _, bc := range s.binClauses {
+			check(bc[:])
 		}
 	}
 }
@@ -161,7 +163,10 @@ func TestLearntClauseSoundness(t *testing.T) {
 		// Import s1's learnt clauses as problem clauses.
 		ok := true
 		for _, c := range s1.learnts {
-			ok = s2.AddClause(c.lits...) && ok
+			ok = s2.AddClause(s1.arena.lits(c)...) && ok
+		}
+		for _, bc := range s1.binLearnts {
+			ok = s2.AddClause(bc[:]...) && ok
 		}
 		got := s2.Solve()
 		if want == Sat && (got != Sat || !ok) {

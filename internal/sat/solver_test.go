@@ -408,7 +408,7 @@ func TestStatsPopulated(t *testing.T) {
 	if s.Stats.Propagations == 0 && s.Stats.Decisions == 0 {
 		t.Fatalf("stats not populated: %+v", s.Stats)
 	}
-	if s.SizeBytes() <= 0 {
-		t.Fatalf("SizeBytes should be positive")
+	if s.ClauseDBBytes() <= 0 {
+		t.Fatalf("ClauseDBBytes should be positive")
 	}
 }
