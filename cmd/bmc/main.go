@@ -1,12 +1,20 @@
-// Command bmc runs one bounded reachability check on a model file.
+// Command bmc runs bounded reachability checks on one or more model
+// files.
 //
 // Usage:
 //
-//	bmc -model design.msl -k 12 [-engine sat|sat-incr|jsat|qbf-linear|qbf-squaring]
-//	    [-sem exact|atmost] [-timeout 30s] [-witness] [-pg]
+//	bmc -model design.msl -k 12
+//	    [-engine sat|sat-incr|jsat|qbf-linear|qbf-squaring|portfolio]
+//	    [-sem exact|atmost] [-timeout 30s] [-witness] [-pg] [-jobs N]
+//	bmc -k 12 -engine portfolio -jobs 4 a.msl b.msl c.aag
 //
 // Models are loaded from .msl (Model Specification Language) or .aag
-// (ASCII AIGER, output 0 = bad) files.
+// (ASCII AIGER, output 0 = bad) files; positional arguments after the
+// flags name additional models. With more than one model the checks run
+// as a batch on a work-stealing pool of -jobs workers (0 = one per
+// CPU), results printed in input order. -engine portfolio races the
+// complementary engines per query — first decisive answer wins, losers
+// are cancelled — and reports which engine decided each instance.
 package main
 
 import (
@@ -21,9 +29,9 @@ import (
 
 func main() {
 	var (
-		modelPath = flag.String("model", "", "model file (.msl or .aag)")
+		modelPath = flag.String("model", "", "model file (.msl or .aag); more may follow as positional arguments")
 		k         = flag.Int("k", 0, "bound (number of transitions)")
-		engineStr = flag.String("engine", "sat", "engine: sat, sat-incr, jsat, qbf-linear, qbf-squaring")
+		engineStr = flag.String("engine", "sat", "engine: sat, sat-incr, jsat, qbf-linear, qbf-squaring, portfolio")
 		semStr    = flag.String("sem", "exact", "semantics: exact or atmost")
 		timeout   = flag.Duration("timeout", 0, "per-check timeout (0 = none)")
 		witness   = flag.Bool("witness", false, "print the counterexample trace when found")
@@ -31,17 +39,18 @@ func main() {
 		deepen    = flag.Bool("deepen", false, "iterate bounds 0..k and report the first counterexample")
 		prove     = flag.Bool("prove", false, "attempt a full safety proof by k-induction up to depth k")
 		stats     = flag.Bool("stats", false, "print solver effort statistics (conflicts, clause-DB bytes)")
+		jobs      = flag.Int("jobs", 0, "batch workers for multiple models (0 = one per CPU)")
 	)
 	flag.Parse()
 
-	if *modelPath == "" {
-		fmt.Fprintln(os.Stderr, "bmc: -model is required")
+	paths := flag.Args()
+	if *modelPath != "" {
+		paths = append([]string{*modelPath}, paths...)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "bmc: -model or positional model files required")
 		flag.Usage()
 		os.Exit(2)
-	}
-	sys, err := loadModel(*modelPath)
-	if err != nil {
-		fatal(err)
 	}
 	engine, err := sebmc.ParseEngine(*engineStr)
 	if err != nil {
@@ -55,6 +64,18 @@ func main() {
 		opts.Semantics = sebmc.AtMost
 	default:
 		fatal(fmt.Errorf("bmc: unknown semantics %q", *semStr))
+	}
+
+	if len(paths) > 1 {
+		if *prove {
+			fatal(fmt.Errorf("bmc: -prove supports a single model"))
+		}
+		os.Exit(runBatch(paths, *k, engine, opts, *jobs, *deepen, *witness, *stats))
+	}
+
+	sys, err := loadModel(paths[0])
+	if err != nil {
+		fatal(err)
 	}
 
 	start := time.Now()
@@ -71,20 +92,7 @@ func main() {
 	}
 	if *deepen {
 		d := sebmc.Deepen(sys, *k, engine, opts)
-		fmt.Printf("model %s: %v", sys.Name, d.Status)
-		if d.FoundAt >= 0 {
-			fmt.Printf(" at bound %d", d.FoundAt)
-		}
-		fmt.Printf(" after %d iterations in %v\n", d.Iterations, time.Since(start).Round(time.Millisecond))
-		if d.Witness != nil && d.System != nil {
-			if err := d.Witness.Validate(d.System); err != nil {
-				fatal(fmt.Errorf("bmc: internal error: invalid witness: %v", err))
-			}
-			fmt.Println("witness validated")
-			if *witness {
-				fmt.Print(d.Witness)
-			}
-		}
+		printDeepen(sys.Name, d, time.Since(start), *witness)
 		if d.Status == sebmc.Unknown {
 			os.Exit(1)
 		}
@@ -92,14 +100,64 @@ func main() {
 	}
 
 	r := sebmc.Check(sys, *k, engine, opts)
-	fmt.Printf("model %s, bound %d (%s, %s): %v in %v\n",
-		sys.Name, *k, engine, *semStr, r.Status, time.Since(start).Round(time.Millisecond))
+	printCheck(sys.Name, *k, engine, *semStr, r, time.Since(start), *witness, *stats)
+	if r.Status == sebmc.Unknown {
+		os.Exit(1)
+	}
+}
+
+// runBatch checks (or deepens) every model on a bounded worker pool and
+// prints the results in input order. The exit code is 1 when any check
+// came back Unknown, 2 on a load error.
+func runBatch(paths []string, k int, engine sebmc.Engine, opts sebmc.Options, workers int, deepen, witness, stats bool) int {
+	jobs := make([]sebmc.Job, len(paths))
+	for i, p := range paths {
+		sys, err := loadModel(p)
+		if err != nil {
+			fatal(err)
+		}
+		jobs[i] = sebmc.Job{Sys: sys, K: k, Engine: engine, Opts: opts}
+	}
+	start := time.Now()
+	exit := 0
+	if deepen {
+		for i, d := range sebmc.DeepenMany(jobs, workers) {
+			printDeepen(jobs[i].Sys.Name, d, 0, witness)
+			if d.Status == sebmc.Unknown {
+				exit = 1
+			}
+		}
+	} else {
+		for i, r := range sebmc.CheckMany(jobs, workers) {
+			printCheck(jobs[i].Sys.Name, k, engine, "", r, 0, witness, stats)
+			if r.Status == sebmc.Unknown {
+				exit = 1
+			}
+		}
+	}
+	fmt.Printf("batch: %d models in %v\n", len(jobs), time.Since(start).Round(time.Millisecond))
+	return exit
+}
+
+func printCheck(name string, k int, engine sebmc.Engine, sem string, r sebmc.Result, elapsed time.Duration, witness, stats bool) {
+	fmt.Printf("model %s, bound %d (%s", name, k, engine)
+	if engine == sebmc.EnginePortfolio && r.DecidedBy != "" {
+		fmt.Printf(" won by %s", r.DecidedBy)
+	}
+	if sem != "" {
+		fmt.Printf(", %s", sem)
+	}
+	fmt.Printf("): %v", r.Status)
+	if elapsed > 0 {
+		fmt.Printf(" in %v", elapsed.Round(time.Millisecond))
+	}
+	fmt.Println()
 	fmt.Printf("formula: %d vars, %d clauses", r.Formula.Vars, r.Formula.Clauses)
 	if r.Formula.Universals > 0 {
 		fmt.Printf(", %d universals, %d alternations", r.Formula.Universals, r.Formula.Alternations)
 	}
 	fmt.Println()
-	if *stats {
+	if stats {
 		fmt.Printf("stats: conflicts=%d nodes=%d clause-db-peak=%dB\n", r.Conflicts, r.Nodes, r.PeakBytes)
 	}
 	if r.Status == sebmc.Reachable && r.Witness != nil {
@@ -107,12 +165,33 @@ func main() {
 			fatal(fmt.Errorf("bmc: internal error: invalid witness: %v", err))
 		}
 		fmt.Println("witness validated")
-		if *witness {
+		if witness {
 			fmt.Print(r.Witness)
 		}
 	}
-	if r.Status == sebmc.Unknown {
-		os.Exit(1)
+}
+
+func printDeepen(name string, d sebmc.DeepenResult, elapsed time.Duration, witness bool) {
+	fmt.Printf("model %s: %v", name, d.Status)
+	if d.FoundAt >= 0 {
+		fmt.Printf(" at bound %d", d.FoundAt)
+	}
+	if d.DecidedBy != "" {
+		fmt.Printf(" (%s)", d.DecidedBy)
+	}
+	fmt.Printf(" after %d iterations", d.Iterations)
+	if elapsed > 0 {
+		fmt.Printf(" in %v", elapsed.Round(time.Millisecond))
+	}
+	fmt.Println()
+	if d.Witness != nil && d.System != nil {
+		if err := d.Witness.Validate(d.System); err != nil {
+			fatal(fmt.Errorf("bmc: internal error: invalid witness: %v", err))
+		}
+		fmt.Println("witness validated")
+		if witness {
+			fmt.Print(d.Witness)
+		}
 	}
 }
 

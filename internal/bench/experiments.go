@@ -11,6 +11,7 @@ import (
 	"repro/internal/explicit"
 	"repro/internal/jsat"
 	"repro/internal/model"
+	"repro/internal/portfolio"
 	"repro/internal/qbf"
 	"repro/internal/sat"
 	"repro/internal/symbolic"
@@ -29,7 +30,12 @@ type Table1 struct {
 	Results []InstanceResult
 }
 
-// RunTable1 runs the given engines over the whole suite.
+// RunTable1 runs the given engines over the whole suite. With
+// cfg.Jobs > 1 the (instance, engine) runs are spread over that many
+// workers through the work-stealing pool — results and aggregation stay
+// in deterministic suite order; per-instance wall-clock then reflects a
+// loaded machine, so keep Jobs at 1 when timing engines against each
+// other.
 func RunTable1(cfg Config, engines ...EngineKind) *Table1 {
 	if len(engines) == 0 {
 		engines = []EngineKind{EngineSAT, EngineJSAT, EngineQBFLinear}
@@ -41,19 +47,32 @@ func RunTable1(cfg Config, engines ...EngineKind) *Table1 {
 		Solved: make(map[EngineKind]int),
 		ByFam:  make(map[string]map[EngineKind]int),
 	}
+	type pair struct {
+		inst Instance
+		eng  EngineKind
+	}
+	var pairs []pair
 	for _, inst := range suite {
 		for _, eng := range engines {
-			r := Run(inst, eng, cfg)
-			t.Results = append(t.Results, r)
-			if r.Solved() {
-				t.Solved[eng]++
-				fam := t.ByFam[inst.Family]
-				if fam == nil {
-					fam = make(map[EngineKind]int)
-					t.ByFam[inst.Family] = fam
-				}
-				fam[eng]++
+			pairs = append(pairs, pair{inst, eng})
+		}
+	}
+	workers := cfg.Jobs
+	if workers < 1 {
+		workers = 1
+	}
+	t.Results = portfolio.Map(workers, pairs, func(_ int, p pair) InstanceResult {
+		return Run(p.inst, p.eng, cfg)
+	})
+	for i, r := range t.Results {
+		if r.Solved() {
+			t.Solved[pairs[i].eng]++
+			fam := t.ByFam[pairs[i].inst.Family]
+			if fam == nil {
+				fam = make(map[EngineKind]int)
+				t.ByFam[pairs[i].inst.Family] = fam
 			}
+			fam[pairs[i].eng]++
 		}
 	}
 	return t

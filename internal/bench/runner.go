@@ -4,7 +4,9 @@ import (
 	"time"
 
 	"repro/internal/bmc"
+	"repro/internal/cancel"
 	"repro/internal/jsat"
+	"repro/internal/portfolio"
 	"repro/internal/qbf"
 	"repro/internal/sat"
 	"repro/internal/tseitin"
@@ -28,6 +30,11 @@ const (
 	// EngineSATIncr is the persistent-solver incremental engine on
 	// formula (1): one solver per deepening run, one new frame per bound.
 	EngineSATIncr
+	// EnginePortfolio races EngineSAT, EngineSATIncr and EngineJSAT on
+	// the instance, each on its own solver; the first decisive answer
+	// wins and the losers are cancelled. The E9 experiment compares it
+	// against the best single engine per instance.
+	EnginePortfolio
 )
 
 // String names the engine as it appears in result tables.
@@ -43,6 +50,8 @@ func (e EngineKind) String() string {
 		return "qbf-squaring"
 	case EngineSATIncr:
 		return "sat-incr"
+	case EnginePortfolio:
+		return "portfolio"
 	}
 	return "unknown"
 }
@@ -65,6 +74,14 @@ type Config struct {
 	Semantics bmc.Semantics
 	// Mode is the CNF transformation.
 	Mode tseitin.Mode
+	// Jobs, when > 1, runs suite sweeps (RunTable1) on that many
+	// workers; results stay in deterministic instance order. 0 or 1 is
+	// sequential — the right setting whenever per-engine wall-clock is
+	// being measured.
+	Jobs int
+	// Cancel, when non-nil, aborts in-flight solver runs cooperatively;
+	// it is threaded into every engine Run launches.
+	Cancel *cancel.Flag
 }
 
 // DefaultConfig is the scaled-down stand-in for the paper's
@@ -91,6 +108,9 @@ type InstanceResult struct {
 	Vars      int
 	Clauses   int
 	PeakBytes int
+	// DecidedBy names the engine that produced the answer — only
+	// meaningful for EnginePortfolio, where it is the race winner.
+	DecidedBy string
 }
 
 // Solved reports whether the engine decided the instance within budget.
@@ -104,6 +124,11 @@ func (c Config) deadline() time.Time {
 	return time.Now().Add(c.TimeLimit)
 }
 
+// PortfolioEngines is the competitor set EnginePortfolio races: the
+// three witness-producing SAT procedures, mirroring the sebmc facade's
+// DefaultPortfolio.
+var PortfolioEngines = []EngineKind{EngineSAT, EngineSATIncr, EngineJSAT}
+
 // Run solves one instance with one engine under the config budgets.
 func Run(inst Instance, engine EngineKind, cfg Config) InstanceResult {
 	start := time.Now()
@@ -116,6 +141,7 @@ func Run(inst Instance, engine EngineKind, cfg Config) InstanceResult {
 			SAT: sat.Options{
 				ConflictBudget: cfg.SATConflicts,
 				Deadline:       cfg.deadline(),
+				Cancel:         cfg.Cancel,
 			},
 		})
 		out.Status = r.Status
@@ -125,21 +151,23 @@ func Run(inst Instance, engine EngineKind, cfg Config) InstanceResult {
 		r := bmc.SolveIncremental(inst.Sys, inst.K, bmc.IncrementalOptions{
 			Semantics:    cfg.Semantics,
 			Mode:         cfg.Mode,
-			SAT:          sat.Options{ConflictBudget: cfg.SATConflicts},
+			SAT:          sat.Options{ConflictBudget: cfg.SATConflicts, Cancel: cfg.Cancel},
 			QueryTimeout: cfg.TimeLimit,
 		})
 		out.Status = r.Status
 		out.Conflicts = r.Conflicts
 		out.Vars, out.Clauses, out.PeakBytes = r.Formula.Vars, r.Formula.Clauses, r.PeakBytes
 	case EngineJSAT:
+		d := cfg.deadline()
 		s := jsat.New(inst.Sys, jsat.Options{
 			Semantics:   cfg.Semantics,
 			Mode:        cfg.Mode,
 			QueryBudget: cfg.JSATQueries,
-			Deadline:    cfg.deadline(),
+			Deadline:    d,
+			Cancel:      cfg.Cancel,
 			SAT: sat.Options{
 				ConflictBudget: cfg.JSATConflictsPerQuery,
-				Deadline:       cfg.deadline(),
+				Deadline:       d,
 			},
 		})
 		r := s.Check(inst.K)
@@ -153,6 +181,7 @@ func Run(inst Instance, engine EngineKind, cfg Config) InstanceResult {
 			QBF: qbf.Options{
 				NodeBudget: cfg.QBFNodes,
 				Deadline:   cfg.deadline(),
+				Cancel:     cfg.Cancel,
 			},
 		})
 		out.Status = r.Status
@@ -165,6 +194,7 @@ func Run(inst Instance, engine EngineKind, cfg Config) InstanceResult {
 			QBF: qbf.Options{
 				NodeBudget: cfg.QBFNodes,
 				Deadline:   cfg.deadline(),
+				Cancel:     cfg.Cancel,
 			},
 		})
 		if err != nil {
@@ -174,6 +204,24 @@ func Run(inst Instance, engine EngineKind, cfg Config) InstanceResult {
 		out.Status = r.Status
 		out.Nodes = r.Nodes
 		out.Vars, out.Clauses = r.Formula.Vars, r.Formula.Clauses
+	case EnginePortfolio:
+		tasks := make([]portfolio.Task[InstanceResult], len(PortfolioEngines))
+		for i, eng := range PortfolioEngines {
+			eng := eng
+			tasks[i] = portfolio.Task[InstanceResult]{
+				Name: eng.String(),
+				Run: func(c *cancel.Flag) InstanceResult {
+					sub := cfg
+					sub.Cancel = c
+					return Run(inst, eng, sub)
+				},
+			}
+		}
+		res := portfolio.Race(cfg.Cancel,
+			func(r InstanceResult) bool { return r.Status != bmc.Unknown }, tasks)
+		out = res.Value
+		out.Engine = EnginePortfolio
+		out.DecidedBy = res.Name
 	}
 	out.Elapsed = time.Since(start)
 	return out

@@ -97,6 +97,10 @@ type Result struct {
 	Conflicts int64 // CDCL conflicts
 	Nodes     int64 // QBF search nodes
 	PeakBytes int   // solver clause-database high water, when tracked
+	// DecidedBy names the engine that produced the result. The sebmc
+	// facade fills it on every check; under the portfolio engine it is
+	// the race winner.
+	DecidedBy string
 }
 
 func (r Result) String() string {

@@ -19,6 +19,10 @@ type DeepenResult struct {
 	// actually encoded, post-transform under at-most-k semantics).
 	Witness *Witness
 	System  *model.System
+	// DecidedBy names the engine that completed the run. The sebmc
+	// facade fills it on every deepening; under the portfolio engine it
+	// is the race winner.
+	DecidedBy string
 }
 
 // CheckFunc answers one bounded reachability query at bound k.

@@ -3,6 +3,7 @@ package bmc_test
 import (
 	"testing"
 
+	sebmc "repro"
 	"repro/internal/bmc"
 	"repro/internal/circuits"
 	"repro/internal/explicit"
@@ -10,9 +11,10 @@ import (
 )
 
 // TestDifferentialEnginesAgreeOnRandomCircuits is the cross-engine
-// differential harness for the incremental engine: seeded-random small
-// circuits are checked at every bound k ≤ 12 with the monolithic SAT
-// engine and the persistent-solver incremental engine, against the
+// differential harness: seeded-random small circuits are checked at
+// every bound k ≤ 12 with the monolithic SAT engine, the
+// persistent-solver incremental engine, and the concurrent portfolio
+// (which races sat, sat-incr and jsat per query), against the
 // explicit-state checker as ground-truth oracle. Any status
 // disagreement is a failure, as is any Reachable answer whose witness
 // does not replay to the bad state under internal/aig evaluation.
@@ -54,13 +56,22 @@ func diffOneSystem(t *testing.T, sys *model.System, maxK int, seed int64) {
 		rs := bmc.SolveUnroll(sys, k, bmc.UnrollOptions{})
 		ri := incr.CheckBound(k)
 		ra := incrAM.CheckBound(k)
+		rp := sebmc.Check(sys, k, sebmc.EnginePortfolio, sebmc.Options{})
 
 		checkAgainstOracle(t, "sat", sys, seed, k, rs, want)
 		checkAgainstOracle(t, "sat-incr", sys, seed, k, ri, want)
 		checkAgainstOracle(t, "sat-incr/atmost", sys, seed, k, ra, wantAM)
+		checkAgainstOracle(t, "portfolio", sys, seed, k, rp, want)
 		if rs.Status != ri.Status {
 			t.Fatalf("seed %d %s k=%d: sat says %v, sat-incr says %v",
 				seed, sys.Name, k, rs.Status, ri.Status)
+		}
+		if rp.Status != rs.Status {
+			t.Fatalf("seed %d %s k=%d: sat says %v, portfolio says %v (won by %s)",
+				seed, sys.Name, k, rs.Status, rp.Status, rp.DecidedBy)
+		}
+		if rp.DecidedBy == "" {
+			t.Fatalf("seed %d %s k=%d: portfolio result carries no winner tag", seed, sys.Name, k)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package bmc_test
 import (
 	"testing"
 
+	sebmc "repro"
 	"repro/internal/bmc"
 	"repro/internal/circuits"
 	"repro/internal/explicit"
@@ -103,4 +104,91 @@ func TestFuzzSquaringAgainstOracle(t *testing.T) {
 			}
 		}
 	}
+}
+
+// clampShape folds arbitrary fuzz integers into the small-circuit
+// envelope the explicit oracle can enumerate. The folded values match
+// the seeded sweeps above, so the corpus under testdata/fuzz/ replays
+// the same instance classes deterministically in CI's -short run.
+func clampShape(nIn, nLatch, nAnd, k int) (int, int, int, int) {
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return 1 + abs(nIn)%3, 2 + abs(nLatch)%4, 4 + abs(nAnd)%17, abs(k) % 9
+}
+
+// FuzzDifferentialEngines is the native-fuzzing form of the
+// differential harness: any (seed, shape, bound) tuple must produce
+// agreement between the monolithic SAT engine, the incremental engine,
+// the concurrent portfolio, and the explicit-state oracle, with every
+// Reachable witness replaying. Without -fuzz, the committed seed corpus
+// in testdata/fuzz/FuzzDifferentialEngines runs as deterministic unit
+// tests.
+func FuzzDifferentialEngines(f *testing.F) {
+	f.Add(int64(300), 1, 2, 5, 3)
+	f.Add(int64(427), 2, 3, 9, 0)
+	f.Add(int64(811), 0, 1, 16, 7)
+	f.Fuzz(func(t *testing.T, seed int64, nIn, nLatch, nAnd, k int) {
+		nIn, nLatch, nAnd, k = clampShape(nIn, nLatch, nAnd, k)
+		sys := circuits.RandomAIG(seed, nIn, nLatch, nAnd, 2)
+		oracle := explicit.New(sys)
+		want := oracle.ReachableExact(k)
+
+		ru := bmc.SolveUnroll(sys, k, bmc.UnrollOptions{})
+		ri := bmc.SolveIncremental(sys, k, bmc.IncrementalOptions{})
+		rp := sebmc.Check(sys, k, sebmc.EnginePortfolio, sebmc.Options{})
+		for _, r := range []struct {
+			engine string
+			res    bmc.Result
+		}{{"sat", ru}, {"sat-incr", ri}, {"portfolio", rp}} {
+			if r.res.Status == bmc.Unknown {
+				t.Fatalf("seed %d k=%d: %s returned Unknown without a budget", seed, k, r.engine)
+			}
+			if got := r.res.Status == bmc.Reachable; got != want {
+				t.Fatalf("seed %d k=%d: %s says %v, oracle says reachable=%v", seed, k, r.engine, r.res.Status, want)
+			}
+			if r.res.Status == bmc.Reachable {
+				if r.res.Witness == nil {
+					t.Fatalf("seed %d k=%d: %s Reachable without witness", seed, k, r.engine)
+				}
+				if err := r.res.Witness.Validate(r.res.System); err != nil {
+					t.Fatalf("seed %d k=%d: %s witness does not replay: %v", seed, k, r.engine, err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzJSATAgainstOracle fuzzes the paper's special-purpose procedure
+// under both semantics against the oracle, witnesses included.
+func FuzzJSATAgainstOracle(f *testing.F) {
+	f.Add(int64(112), 1, 2, 6, 2)
+	f.Add(int64(512), 2, 3, 12, 5)
+	f.Fuzz(func(t *testing.T, seed int64, nIn, nLatch, nAnd, k int) {
+		nIn, nLatch, nAnd, k = clampShape(nIn, nLatch, nAnd, k)
+		sys := circuits.RandomAIG(seed, nIn, nLatch, nAnd, 2)
+		oracle := explicit.New(sys)
+
+		for _, sem := range []bmc.Semantics{bmc.Exact, bmc.AtMost} {
+			want := oracle.ReachableExact(k)
+			if sem == bmc.AtMost {
+				want = oracle.ReachableWithin(k)
+			}
+			r := jsat.New(sys, jsat.Options{Semantics: sem}).Check(k)
+			if r.Status == bmc.Unknown {
+				t.Fatalf("seed %d k=%d %v: jsat returned Unknown without a budget", seed, k, sem)
+			}
+			if got := r.Status == bmc.Reachable; got != want {
+				t.Fatalf("seed %d k=%d %v: jsat says %v, oracle says reachable=%v", seed, k, sem, r.Status, want)
+			}
+			if r.Status == bmc.Reachable {
+				if err := r.Witness.Validate(r.System); err != nil {
+					t.Fatalf("seed %d k=%d %v: jsat witness does not replay: %v", seed, k, sem, err)
+				}
+			}
+		}
+	})
 }

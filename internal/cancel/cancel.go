@@ -1,0 +1,49 @@
+// Package cancel provides the cooperative cancellation signal shared by
+// every solver loop in the reproduction. A Flag is a single atomic
+// boolean with an optional parent, so cancellation composes: the
+// portfolio runner hands each competitor a flag derived from the
+// caller's, sets it once a winner returns, and every losing solver —
+// CDCL, QDPLL, or jSAT's driver — observes the signal on the same polls
+// it already uses for its wall-clock deadline and stops within a few
+// conflicts instead of running to completion.
+//
+// Checking a flag is one or two uncontended atomic loads (one per link
+// of the parent chain), cheap enough to poll on every conflict and every
+// decision. All methods are safe for concurrent use and nil-safe: a nil
+// *Flag is a valid "never cancelled" signal, so zero-value Options need
+// no special-casing.
+package cancel
+
+import "sync/atomic"
+
+// Flag is a one-shot cooperative cancellation signal. The zero value is
+// a root flag that is not yet cancelled. Once Set, a flag stays
+// cancelled forever; there is no reset — derive a fresh flag per query
+// instead.
+type Flag struct {
+	set    atomic.Bool
+	parent *Flag
+}
+
+// Derived returns a child flag that reports cancelled when either it or
+// any ancestor is set. parent may be nil, giving a fresh root flag.
+func Derived(parent *Flag) *Flag { return &Flag{parent: parent} }
+
+// Set cancels the flag (and thereby every flag derived from it). Safe on
+// a nil receiver, where it is a no-op.
+func (f *Flag) Set() {
+	if f != nil {
+		f.set.Store(true)
+	}
+}
+
+// Canceled reports whether the flag or any of its ancestors has been
+// set. Safe on a nil receiver, where it reports false.
+func (f *Flag) Canceled() bool {
+	for ; f != nil; f = f.parent {
+		if f.set.Load() {
+			return true
+		}
+	}
+	return false
+}

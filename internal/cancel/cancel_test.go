@@ -1,0 +1,102 @@
+package cancel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilFlagIsNeverCanceled(t *testing.T) {
+	var f *Flag
+	if f.Canceled() {
+		t.Fatal("nil flag reports cancelled")
+	}
+	f.Set() // must not panic
+	if f.Canceled() {
+		t.Fatal("nil flag cancelled after Set")
+	}
+}
+
+func TestSetIsSticky(t *testing.T) {
+	f := &Flag{}
+	if f.Canceled() {
+		t.Fatal("fresh flag already cancelled")
+	}
+	f.Set()
+	if !f.Canceled() {
+		t.Fatal("flag not cancelled after Set")
+	}
+	f.Set() // idempotent
+	if !f.Canceled() {
+		t.Fatal("second Set cleared the flag")
+	}
+}
+
+func TestDerivedSeesParentCancellation(t *testing.T) {
+	root := &Flag{}
+	child := Derived(root)
+	grand := Derived(child)
+	if grand.Canceled() {
+		t.Fatal("fresh chain already cancelled")
+	}
+	root.Set()
+	if !child.Canceled() || !grand.Canceled() {
+		t.Fatal("descendants do not see root cancellation")
+	}
+}
+
+func TestDerivedDoesNotLeakUpward(t *testing.T) {
+	root := &Flag{}
+	a := Derived(root)
+	b := Derived(root)
+	a.Set()
+	if root.Canceled() {
+		t.Fatal("child Set cancelled the parent")
+	}
+	if b.Canceled() {
+		t.Fatal("child Set cancelled a sibling")
+	}
+	if !a.Canceled() {
+		t.Fatal("child not cancelled after its own Set")
+	}
+}
+
+func TestDerivedNilParentIsRoot(t *testing.T) {
+	f := Derived(nil)
+	if f.Canceled() {
+		t.Fatal("fresh derived-from-nil flag already cancelled")
+	}
+	f.Set()
+	if !f.Canceled() {
+		t.Fatal("derived-from-nil flag not cancelled after Set")
+	}
+}
+
+// TestConcurrentSetAndPoll exercises the flag from many goroutines at
+// once; run under -race this proves the signal itself is data-race free.
+func TestConcurrentSetAndPoll(t *testing.T) {
+	root := &Flag{}
+	children := make([]*Flag, 8)
+	for i := range children {
+		children[i] = Derived(root)
+	}
+	var wg sync.WaitGroup
+	for _, c := range children {
+		wg.Add(2)
+		go func(c *Flag) {
+			defer wg.Done()
+			for !c.Canceled() {
+			}
+		}(c)
+		go func(c *Flag) {
+			defer wg.Done()
+			c.Set()
+		}(c)
+	}
+	root.Set()
+	wg.Wait()
+	for i, c := range children {
+		if !c.Canceled() {
+			t.Fatalf("child %d not cancelled", i)
+		}
+	}
+}

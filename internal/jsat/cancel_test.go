@@ -1,0 +1,39 @@
+package jsat_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bmc"
+	"repro/internal/cancel"
+	"repro/internal/circuits"
+	"repro/internal/jsat"
+)
+
+func TestJSATCancelBeforeCheck(t *testing.T) {
+	c := &cancel.Flag{}
+	c.Set()
+	s := jsat.New(circuits.Counter(4, 9), jsat.Options{Cancel: c})
+	if r := s.Check(9); r.Status != bmc.Unknown {
+		t.Fatalf("pre-cancelled check returned %v, want Unknown", r.Status)
+	}
+}
+
+func TestJSATCancelMidSearchStopsPromptly(t *testing.T) {
+	// ParityGuard has 2^10-wide successor fan-out — hostile to the DFS,
+	// so the search reliably outlives the 10ms cancellation delay.
+	c := &cancel.Flag{}
+	s := jsat.New(circuits.ParityGuard(10), jsat.Options{Cancel: c})
+	done := make(chan bmc.Status, 1)
+	go func() { done <- s.Check(8).Status }()
+	time.Sleep(10 * time.Millisecond)
+	c.Set()
+	select {
+	case got := <-done:
+		if got == bmc.Reachable {
+			t.Fatalf("cancelled search claimed Reachable on a safe system")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("jSAT did not stop within 5s of cancellation")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bmc"
+	"repro/internal/cancel"
 	"repro/internal/cnf"
 	"repro/internal/model"
 	"repro/internal/sat"
@@ -50,6 +51,11 @@ type Options struct {
 	QueryBudget int64
 	// Deadline, when non-zero, aborts the search once passed.
 	Deadline time.Time
+	// Cancel, when non-nil, aborts the search with Unknown as soon as
+	// the flag is set. It is polled before every SAT query, and is also
+	// handed to the step and init solvers (unless SAT.Cancel is already
+	// set), so an in-flight query aborts mid-search too.
+	Cancel *cancel.Flag
 }
 
 // Stats summarize a run.
@@ -100,6 +106,9 @@ type frameRec struct {
 
 // New builds a jSAT solver for sys.
 func New(sys *model.System, opts Options) *Solver {
+	if opts.SAT.Cancel == nil {
+		opts.SAT.Cancel = opts.Cancel
+	}
 	prepared := bmc.Prepare(sys, opts.Semantics)
 	s := &Solver{
 		opts:        opts,
@@ -264,6 +273,9 @@ func (s *Solver) markHopeless(state []bool, remaining int) {
 
 func (s *Solver) budgetExceeded() bool {
 	if s.opts.QueryBudget > 0 && s.Stats.Queries >= s.opts.QueryBudget {
+		return true
+	}
+	if s.opts.Cancel.Canceled() {
 		return true
 	}
 	if !s.opts.Deadline.IsZero() && s.Stats.Queries%32 == 0 && time.Now().After(s.opts.Deadline) {

@@ -1,0 +1,129 @@
+// Package portfolio is the concurrency substrate of the reproduction:
+// it races complementary decision procedures against each other and
+// fans batches of independent queries over a bounded worker pool.
+//
+// The paper's engines trade space for time in opposite directions —
+// jSAT holds one transition-relation copy but walks the state graph,
+// the unrolled SAT encoding is fast but grows with the bound — so on an
+// unknown instance the right engine is unknowable up front. Race keeps
+// the classic way out honest: every competitor runs on its own solver
+// (no shared mutable state), the first decisive answer wins, and the
+// losers are stopped through the cooperative cancel.Flag the solver
+// loops poll alongside their deadlines, rather than running to
+// completion.
+//
+// Both entry points are deliberately generic over the result type: the
+// package knows nothing about BMC, so the sebmc facade races bounded
+// checks and deepening runs through the same two functions, and the
+// bench runner reuses Map for parallel suite sweeps.
+package portfolio
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cancel"
+)
+
+// Task is one competitor in a Race. Run receives the flag it must poll;
+// it is expected to return promptly (within a few solver conflicts)
+// once the flag is set.
+type Task[R any] struct {
+	Name string
+	Run  func(c *cancel.Flag) R
+}
+
+// Outcome is the result of a Race.
+type Outcome[R any] struct {
+	// Winner is the index of the task that produced the first decisive
+	// result, or -1 when every competitor returned indecisively
+	// (cancelled or out of budget).
+	Winner int
+	// Name is the winning task's name ("" when Winner is -1).
+	Name string
+	// Value is the winning result, or the first result received when
+	// no competitor was decisive.
+	Value R
+}
+
+// Race runs every task concurrently and returns the first result for
+// which decisive reports true, cancelling the remaining competitors
+// through a flag derived from parent. Race does not return until every
+// task's goroutine has exited — losers are joined, not leaked — so the
+// caller may rely on before/after goroutine counts in tests. When
+// parent is cancelled, all competitors stop and the outcome is whatever
+// indecisive result arrived first.
+func Race[R any](parent *cancel.Flag, decisive func(R) bool, tasks []Task[R]) Outcome[R] {
+	out := Outcome[R]{Winner: -1}
+	if len(tasks) == 0 {
+		return out
+	}
+	// All competitors share one derived flag: setting it after the first
+	// decisive result stops everyone still running, and a parent
+	// cancellation propagates through the chain without extra plumbing.
+	stop := cancel.Derived(parent)
+	type numbered struct {
+		i int
+		v R
+	}
+	results := make(chan numbered, len(tasks))
+	for i, t := range tasks {
+		go func(i int, t Task[R]) { results <- numbered{i, t.Run(stop)} }(i, t)
+	}
+	seen := 0
+	for r := range results {
+		if seen == 0 {
+			out.Value = r.v // fallback if nobody is decisive
+		}
+		seen++
+		if out.Winner < 0 && decisive(r.v) {
+			out.Winner, out.Name, out.Value = r.i, tasks[r.i].Name, r.v
+			stop.Set()
+		}
+		if seen == len(tasks) {
+			break
+		}
+	}
+	return out
+}
+
+// Map runs fn over every item on a bounded pool of workers and returns
+// the results in item order, regardless of completion order. Workers
+// pull the next unclaimed item from a shared counter — the idle-worker-
+// steals-the-next-job discipline — so a batch of wildly uneven queries
+// keeps every worker busy until the tail. workers <= 0 defaults to
+// GOMAXPROCS; a pool never exceeds the item count. Cancellation is the
+// caller's: fn threads whatever cancel flag it owns into its solvers,
+// and a cancelled batch still populates every result slot (with
+// indecisive entries), so result ordering stays deterministic.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	n := len(items)
+	results := make([]R, n)
+	if n == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

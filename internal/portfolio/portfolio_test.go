@@ -1,0 +1,159 @@
+package portfolio
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cancel"
+)
+
+func TestRaceFirstDecisiveWins(t *testing.T) {
+	tasks := []Task[int]{
+		{Name: "slow", Run: func(c *cancel.Flag) int {
+			for !c.Canceled() {
+				time.Sleep(time.Millisecond)
+			}
+			return 0 // indecisive after cancellation
+		}},
+		{Name: "fast", Run: func(c *cancel.Flag) int { return 42 }},
+	}
+	out := Race(nil, func(v int) bool { return v != 0 }, tasks)
+	if out.Winner != 1 || out.Name != "fast" || out.Value != 42 {
+		t.Fatalf("race outcome %+v, want winner 1 (fast, 42)", out)
+	}
+}
+
+func TestRaceCancelsLosersAndJoins(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var loserExited atomic.Bool
+	tasks := []Task[string]{
+		{Name: "loser", Run: func(c *cancel.Flag) string {
+			for !c.Canceled() {
+				time.Sleep(time.Millisecond)
+			}
+			loserExited.Store(true)
+			return ""
+		}},
+		{Name: "winner", Run: func(c *cancel.Flag) string { return "done" }},
+	}
+	out := Race(nil, func(v string) bool { return v != "" }, tasks)
+	if out.Name != "winner" {
+		t.Fatalf("wrong winner: %+v", out)
+	}
+	// Race returns only after all competitors exit.
+	if !loserExited.Load() {
+		t.Fatal("Race returned before the cancelled loser exited")
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestRaceAllIndecisive(t *testing.T) {
+	tasks := []Task[int]{
+		{Name: "a", Run: func(c *cancel.Flag) int { return -1 }},
+		{Name: "b", Run: func(c *cancel.Flag) int { return -2 }},
+	}
+	out := Race(nil, func(v int) bool { return false }, tasks)
+	if out.Winner != -1 || out.Name != "" {
+		t.Fatalf("indecisive race claimed a winner: %+v", out)
+	}
+	if out.Value != -1 && out.Value != -2 {
+		t.Fatalf("fallback value %d is not a task result", out.Value)
+	}
+}
+
+func TestRaceParentCancellationStopsEveryone(t *testing.T) {
+	parent := &cancel.Flag{}
+	spin := func(c *cancel.Flag) int {
+		for !c.Canceled() {
+			time.Sleep(time.Millisecond)
+		}
+		return 0
+	}
+	tasks := []Task[int]{{Name: "a", Run: spin}, {Name: "b", Run: spin}}
+	done := make(chan Outcome[int], 1)
+	go func() { done <- Race(parent, func(v int) bool { return v != 0 }, tasks) }()
+	time.Sleep(5 * time.Millisecond)
+	parent.Set()
+	select {
+	case out := <-done:
+		if out.Winner != -1 {
+			t.Fatalf("cancelled race claimed a winner: %+v", out)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("race did not stop after parent cancellation")
+	}
+}
+
+func TestRaceEmpty(t *testing.T) {
+	out := Race(nil, func(int) bool { return true }, nil)
+	if out.Winner != -1 {
+		t.Fatalf("empty race: %+v", out)
+	}
+}
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	// Uneven per-item delays: completion order ≠ submission order.
+	got := Map(8, items, func(i, item int) int {
+		if i%7 == 0 {
+			time.Sleep(time.Duration(i%5) * time.Millisecond)
+		}
+		return item * item
+	})
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d, want %d — ordering not deterministic", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	Map(workers, make([]struct{}, 50), func(i int, _ struct{}) struct{} {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent workers, cap is %d", p, workers)
+	}
+}
+
+func TestMapZeroItemsAndDefaults(t *testing.T) {
+	if got := Map(0, nil, func(i int, item int) int { return item }); len(got) != 0 {
+		t.Fatalf("empty map returned %v", got)
+	}
+	got := Map(0, []int{1, 2, 3}, func(i, item int) int { return item + 1 })
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("defaulted-worker map returned %v", got)
+	}
+	before := runtime.NumGoroutine()
+	Map(64, []int{1}, func(i, item int) int { return item })
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines asserts the goroutine count settles back to at most
+// the before-count (with a grace period for runtime bookkeeping).
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

@@ -1,0 +1,64 @@
+package qbf
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/cnf"
+)
+
+// hardPCNF builds a TRUE QBF whose QDPLL search tree is exponential in
+// n: the parity game ∀u1 ∃e1 ∀u2 ∃e2 … with e_i ↔ u_i ⊕ e_{i-1}. Every
+// existential can always comply, so the formula is valid — but proving
+// it requires both branches of every universal, 2^n leaves. XOR clauses
+// mention each variable in both polarities, so the pure-literal rule
+// never fires, and every clause carries an existential at least as deep
+// as its universals, so universal reduction does not collapse it.
+func hardPCNF(n int) *cnf.PCNF {
+	p := cnf.NewPCNF()
+	f := p.Matrix
+	u := f.NewVars(n)
+	e := f.NewVars(n)
+	for i := 0; i < n; i++ {
+		p.AddBlock(cnf.Forall, []cnf.Var{u[i]})
+		p.AddBlock(cnf.Exists, []cnf.Var{e[i]})
+	}
+	xor := func(c, a, b cnf.Var) { // c ↔ a ⊕ b
+		f.Add(cnf.NegLit(c), cnf.PosLit(a), cnf.PosLit(b))
+		f.Add(cnf.NegLit(c), cnf.NegLit(a), cnf.NegLit(b))
+		f.Add(cnf.PosLit(c), cnf.PosLit(a), cnf.NegLit(b))
+		f.Add(cnf.PosLit(c), cnf.NegLit(a), cnf.PosLit(b))
+	}
+	// e_0 ↔ u_0 (the ⊕-chain seed), then e_i ↔ u_i ⊕ e_{i-1}.
+	f.Add(cnf.NegLit(e[0]), cnf.PosLit(u[0]))
+	f.Add(cnf.PosLit(e[0]), cnf.NegLit(u[0]))
+	for i := 1; i < n; i++ {
+		xor(e[i], u[i], e[i-1])
+	}
+	return p
+}
+
+func TestQBFCancelBeforeSolve(t *testing.T) {
+	c := &cancel.Flag{}
+	c.Set()
+	s := New(hardPCNF(4), Options{Cancel: c})
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("pre-cancelled solve returned %v, want Unknown", got)
+	}
+}
+
+func TestQBFCancelMidSolveStopsPromptly(t *testing.T) {
+	c := &cancel.Flag{}
+	s := New(hardPCNF(14), Options{Cancel: c})
+	done := make(chan Result, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(10 * time.Millisecond)
+	c.Set()
+	select {
+	case <-done:
+		// Any outcome is fine; what matters is that it returned.
+	case <-time.After(5 * time.Second):
+		t.Fatalf("QDPLL did not stop within 5s of cancellation")
+	}
+}

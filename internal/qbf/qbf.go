@@ -13,6 +13,7 @@ package qbf
 import (
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/cnf"
 )
 
@@ -43,6 +44,9 @@ type Options struct {
 	NodeBudget int64
 	// Deadline, when non-zero, aborts the search once passed.
 	Deadline time.Time
+	// Cancel, when non-nil, aborts the search with Unknown as soon as
+	// the flag is set. Polled at every search node, like NodeBudget.
+	Cancel *cancel.Flag
 	// DisablePure turns off the pure-literal rule (used in tests to
 	// exercise both configurations).
 	DisablePure bool
@@ -136,11 +140,33 @@ func (s *Solver) budgetExceeded() bool {
 	if s.opts.NodeBudget > 0 && s.Stats.Nodes >= s.opts.NodeBudget {
 		return true
 	}
+	if s.opts.Cancel.Canceled() {
+		return true
+	}
 	s.checkCount++
 	if !s.opts.Deadline.IsZero() && s.checkCount%256 == 0 {
 		if time.Now().After(s.opts.Deadline) {
 			s.deadlineHit = true
 		}
+	}
+	return s.deadlineHit
+}
+
+// expired is the immediate stop poll — one clock read plus one atomic
+// load, no call-count gating. Propagation calls it once per fixpoint
+// round: a round sweeps every clause, so on large matrices a single
+// propagate() would otherwise outlive the deadline by seconds before
+// the per-node poll in search ever ran again.
+func (s *Solver) expired() bool {
+	if s.deadlineHit {
+		return true
+	}
+	if s.opts.Cancel.Canceled() {
+		s.deadlineHit = true
+		return true
+	}
+	if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+		s.deadlineHit = true
 	}
 	return s.deadlineHit
 }
@@ -230,6 +256,11 @@ func (s *Solver) undoTo(mark int) {
 // allSat=true when every clause is satisfied.
 func (s *Solver) propagate() (conflict, allSat bool) {
 	for {
+		if s.expired() {
+			// Neither conflict nor allSat: the caller's next budget
+			// poll turns this into Unknown.
+			return false, false
+		}
 		changed := false
 		allSat = true
 		for _, c := range s.clauses {
@@ -326,6 +357,15 @@ func (s *Solver) search(depth int) Result {
 	if allSat {
 		s.undoTo(mark)
 		return True
+	}
+	if s.deadlineHit {
+		// propagate bailed out without sweeping the clauses; its
+		// (false, false) is not a verdict. Returning Unknown here
+		// matters because a Forall ancestor short-circuits on False
+		// without re-polling the budget — an unverified False from the
+		// all-assigned case below could otherwise reach the root.
+		s.undoTo(mark)
+		return Unknown
 	}
 
 	// Branch on the outermost unassigned variable.

@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/cnf"
+)
+
+// addPigeonhole loads PHP(n+1, n) — UNSAT, and hard enough at n=9 to
+// outlive any plausible cancellation latency.
+func addPigeonhole(s *Solver, n int) {
+	p := make([][]cnf.Var, n+2)
+	for i := 1; i <= n+1; i++ {
+		p[i] = make([]cnf.Var, n+1)
+		for j := 1; j <= n; j++ {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 1; i <= n+1; i++ {
+		lits := make([]cnf.Lit, 0, n)
+		for j := 1; j <= n; j++ {
+			lits = append(lits, cnf.PosLit(p[i][j]))
+		}
+		s.AddClause(lits...)
+	}
+	for j := 1; j <= n; j++ {
+		for i1 := 1; i1 <= n+1; i1++ {
+			for i2 := i1 + 1; i2 <= n+1; i2++ {
+				s.AddClause(cnf.NegLit(p[i1][j]), cnf.NegLit(p[i2][j]))
+			}
+		}
+	}
+}
+
+func TestCancelBeforeSolve(t *testing.T) {
+	c := &cancel.Flag{}
+	c.Set()
+	s := New(Options{Cancel: c})
+	v := s.NewVar()
+	s.AddClause(cnf.PosLit(v))
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("pre-cancelled solve returned %v, want Unknown", got)
+	}
+}
+
+func TestCancelMidSolveStopsPromptly(t *testing.T) {
+	c := &cancel.Flag{}
+	s := New(Options{Cancel: c})
+	addPigeonhole(s, 9)
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(20 * time.Millisecond)
+	c.Set()
+	select {
+	case got := <-done:
+		// Unsat is acceptable if the machine solved PHP(10,9) inside
+		// 20ms; Unknown is the expected cancelled outcome. Sat is a bug.
+		if got == Sat {
+			t.Fatalf("cancelled solve returned Sat on UNSAT instance")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("solver did not stop within 5s of cancellation")
+	}
+}
+
+func TestCancelViaDerivedParent(t *testing.T) {
+	parent := &cancel.Flag{}
+	s := New(Options{Cancel: cancel.Derived(parent)})
+	addPigeonhole(s, 9)
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(10 * time.Millisecond)
+	parent.Set()
+	select {
+	case got := <-done:
+		if got == Sat {
+			t.Fatalf("cancelled solve returned Sat on UNSAT instance")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("solver did not observe parent cancellation within 5s")
+	}
+}
+
+// TestCancelNilIsNoop pins that a zero-value Options solver is
+// unaffected by the cancellation plumbing.
+func TestCancelNilIsNoop(t *testing.T) {
+	s := New(Options{})
+	addPigeonhole(s, 5)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(6,5) with nil cancel: got %v, want Unsat", got)
+	}
+}

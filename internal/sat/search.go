@@ -11,6 +11,9 @@ func (s *Solver) deadlineExpired() bool {
 	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
 }
 
+// canceled polls the cooperative cancel flag.
+func (s *Solver) canceled() bool { return s.opts.Cancel.Canceled() }
+
 // Solve determines satisfiability of the clause set under the given
 // assumption literals. It returns Sat, Unsat, or Unknown when a budget
 // from Options was exhausted. After Sat, Model holds a satisfying
@@ -20,6 +23,9 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	if !s.ok {
 		s.conflict = nil
 		return Unsat
+	}
+	if s.canceled() {
+		return Unknown
 	}
 	s.assumptions = append(s.assumptions[:0], assumptions...)
 	s.conflict = nil
@@ -62,6 +68,9 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			if s.opts.PropagationBudget > 0 && s.Stats.Propagations-startProps >= s.opts.PropagationBudget {
 				return Unknown
 			}
+			if s.canceled() {
+				return Unknown
+			}
 			deadlineCheck++
 			if deadlineCheck%64 == 0 && s.deadlineExpired() {
 				return Unknown
@@ -75,7 +84,7 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			s.conflictsCur = 0
 			s.Stats.Restarts++
 			s.cancelUntil(0)
-			if s.deadlineExpired() {
+			if s.canceled() || s.deadlineExpired() {
 				return Unknown
 			}
 			continue
@@ -111,7 +120,10 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			s.Stats.Decisions++
 			// A conflict-free run never reaches the per-conflict poll
 			// above, so easy satisfiable instances must re-check the
-			// deadline on the decision path too.
+			// cancel flag and deadline on the decision path too.
+			if s.canceled() {
+				return Unknown
+			}
 			decisionCheck++
 			if decisionCheck%256 == 0 && s.deadlineExpired() {
 				return Unknown

@@ -28,6 +28,7 @@ package sat
 import (
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/cnf"
 )
 
@@ -65,6 +66,12 @@ type Options struct {
 	// It is polled every few dozen conflicts, every few hundred
 	// decisions, and at every restart, so conflict-free runs stop too.
 	Deadline time.Time
+	// Cancel, when non-nil, aborts the solve with Unknown as soon as the
+	// flag is set. It is polled on every conflict, every decision, and
+	// every restart — an atomic load, cheaper than the Deadline's clock
+	// read — so a solver racing in a portfolio stops within a handful of
+	// conflicts of losing instead of running to completion.
+	Cancel *cancel.Flag
 
 	// DisableVSIDS branches on the lowest-indexed unassigned variable
 	// instead of activity order.

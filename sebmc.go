@@ -4,7 +4,7 @@
 //
 // The library answers bounded reachability questions — "can this
 // sequential circuit reach a bad state in (exactly / at most) k steps?" —
-// with five interchangeable engines:
+// with five interchangeable engines plus a concurrent portfolio:
 //
 //   - EngineSAT: classical BMC; unrolls the transition relation k times
 //     into one propositional formula (the paper's formula (1)) and hands
@@ -27,6 +27,22 @@
 //     built-in search-based QBF solver.
 //   - EngineQBFSquaring: the paper's formula (3); iterative squaring,
 //     with quantifier alternation depth growing as log k.
+//   - EnginePortfolio: races a configurable set of the engines above
+//     (default sat, sat-incr, jsat) concurrently on one query, each on
+//     its own solver. The first decisive answer wins, the result is
+//     tagged with the winning engine (Result.DecidedBy), and the losing
+//     solvers are stopped through a cooperative cancellation flag they
+//     poll alongside their deadlines. Because the competitors have
+//     complementary space/time profiles, the portfolio is within
+//     scheduling noise of the best single engine on every instance
+//     without knowing which one that is up front.
+//
+// Batches of independent queries go through CheckMany / DeepenMany: a
+// bounded work-stealing worker pool runs one Job per queue slot (each
+// with its own engine and Options) and returns results in job order.
+// Long-running checks are aborted early either by Options.Timeout or
+// cooperatively via Options.Cancel, which may be shared — cancelling a
+// parent flag stops every check derived from it.
 //
 // Models come from the MSL hardware description language (LoadMSL), from
 // ASCII AIGER files (LoadAIGER), or are built programmatically against
@@ -90,13 +106,14 @@ const (
 // Engine selects the decision procedure.
 type Engine uint8
 
-// The five engines.
+// The five single engines, plus the concurrent portfolio.
 const (
 	EngineSAT Engine = iota
 	EngineJSAT
 	EngineQBFLinear
 	EngineQBFSquaring
 	EngineSATIncr
+	EnginePortfolio
 )
 
 // String names the engine.
@@ -112,12 +129,14 @@ func (e Engine) String() string {
 		return "qbf-squaring"
 	case EngineSATIncr:
 		return "sat-incr"
+	case EnginePortfolio:
+		return "portfolio"
 	}
 	return "unknown"
 }
 
 // ParseEngine converts a name ("sat", "sat-incr", "jsat", "qbf-linear",
-// "qbf-squaring") to an Engine.
+// "qbf-squaring", "portfolio") to an Engine.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "sat":
@@ -130,6 +149,8 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineQBFLinear, nil
 	case "qbf-squaring":
 		return EngineQBFSquaring, nil
+	case "portfolio":
+		return EnginePortfolio, nil
 	}
 	return 0, fmt.Errorf("sebmc: unknown engine %q", s)
 }
@@ -153,6 +174,16 @@ type Options struct {
 	PlaistedGreenbaum bool
 	// DisableJSATCache turns off jSAT's hopeless-state cache.
 	DisableJSATCache bool
+	// Cancel, when non-nil, aborts the check cooperatively: the flag is
+	// polled by every solver loop on the same schedule as its deadline,
+	// so a cancelled check returns Unknown within a few conflicts. The
+	// portfolio engine derives per-competitor flags from it, and batch
+	// jobs may share one parent flag to cancel a whole run.
+	Cancel *CancelFlag
+	// PortfolioEngines selects the competitors EnginePortfolio races.
+	// Empty means DefaultPortfolio. EnginePortfolio itself is ignored in
+	// the list (a portfolio does not race portfolios).
+	PortfolioEngines []Engine
 }
 
 func (o Options) mode() tseitin.Mode {
@@ -176,43 +207,59 @@ func (o Options) incremental() bmc.IncrementalOptions {
 	return bmc.IncrementalOptions{
 		Semantics:    o.Semantics,
 		Mode:         o.mode(),
-		SAT:          sat.Options{ConflictBudget: o.ConflictBudget},
+		SAT:          sat.Options{ConflictBudget: o.ConflictBudget, Cancel: o.Cancel},
 		QueryTimeout: o.Timeout,
 	}
 }
 
-// Check runs one bounded reachability query.
+// Check runs one bounded reachability query. The result is tagged with
+// the engine that decided it (Result.DecidedBy) — under EnginePortfolio,
+// the race winner.
 func Check(sys *System, k int, engine Engine, opts Options) Result {
+	if engine == EnginePortfolio {
+		return checkPortfolio(sys, k, opts)
+	}
+	r := checkSingle(sys, k, engine, opts)
+	r.DecidedBy = engine.String()
+	return r
+}
+
+func checkSingle(sys *System, k int, engine Engine, opts Options) Result {
 	switch engine {
 	case EngineSAT:
 		return bmc.SolveUnroll(sys, k, bmc.UnrollOptions{
 			Semantics: opts.Semantics,
 			Mode:      opts.mode(),
-			SAT:       sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline()},
+			SAT:       sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline(), Cancel: opts.Cancel},
 		})
 	case EngineSATIncr:
 		return bmc.SolveIncremental(sys, k, opts.incremental())
 	case EngineJSAT:
+		// One deadline for the whole query: computing it per solver
+		// would hand the search and step solvers two slightly different
+		// cutoffs for the same check.
+		d := opts.deadline()
 		s := jsat.New(sys, jsat.Options{
 			Semantics:    opts.Semantics,
 			Mode:         opts.mode(),
 			QueryBudget:  opts.QueryBudget,
-			Deadline:     opts.deadline(),
+			Deadline:     d,
+			Cancel:       opts.Cancel,
 			DisableCache: opts.DisableJSATCache,
-			SAT:          sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline()},
+			SAT:          sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: d},
 		})
 		return s.Check(k)
 	case EngineQBFLinear:
 		return bmc.SolveLinear(sys, k, bmc.LinearOptions{
 			Semantics: opts.Semantics,
 			Mode:      opts.mode(),
-			QBF:       qbf.Options{NodeBudget: opts.NodeBudget, Deadline: opts.deadline()},
+			QBF:       qbf.Options{NodeBudget: opts.NodeBudget, Deadline: opts.deadline(), Cancel: opts.Cancel},
 		})
 	case EngineQBFSquaring:
 		r, err := bmc.SolveSquaring(sys, k, bmc.SquaringOptions{
 			Semantics: opts.Semantics,
 			Mode:      opts.mode(),
-			QBF:       qbf.Options{NodeBudget: opts.NodeBudget, Deadline: opts.deadline()},
+			QBF:       qbf.Options{NodeBudget: opts.NodeBudget, Deadline: opts.deadline(), Cancel: opts.Cancel},
 		})
 		if err != nil {
 			return Result{Status: bmc.Unknown, K: k}
@@ -230,8 +277,18 @@ type DeepenResult = bmc.DeepenResult
 // 0,1,2,4,8,… under at-most-k semantics (the paper's self-loop trick);
 // all other engines step linearly. EngineSATIncr takes a fast path: one
 // persistent solver serves every bound, so each step encodes only the
-// newest time frame and keeps all learned clauses.
+// newest time frame and keeps all learned clauses. EnginePortfolio
+// races whole deepening runs and keeps the first that completes.
 func Deepen(sys *System, maxBound int, engine Engine, opts Options) DeepenResult {
+	if engine == EnginePortfolio {
+		return deepenPortfolio(sys, maxBound, opts)
+	}
+	d := deepenSingle(sys, maxBound, engine, opts)
+	d.DecidedBy = engine.String()
+	return d
+}
+
+func deepenSingle(sys *System, maxBound int, engine Engine, opts Options) DeepenResult {
 	if engine == EngineSATIncr {
 		return bmc.DeepenIncremental(sys, maxBound, opts.incremental())
 	}
@@ -264,7 +321,7 @@ const (
 func Prove(sys *System, maxK int, opts Options) ProveResult {
 	return induction.Prove(sys, maxK, induction.Options{
 		Mode: opts.mode(),
-		SAT:  sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline()},
+		SAT:  sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline(), Cancel: opts.Cancel},
 	})
 }
 
