@@ -1,0 +1,59 @@
+// TestJSATAllocBudget is the CI allocation-regression gate behind the
+// bench-smoke step: it re-runs the deterministic BenchmarkJSAT_*
+// workloads under testing.AllocsPerRun and fails when allocs/op exceeds
+// 2× the baseline committed in BENCH_4.json — a creeping re-allocation
+// of the jSAT hot path (assumption buffers, cache probes, readbacks)
+// trips it long before it would show up in wall-clock.
+package sebmc_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+)
+
+// bench4 mirrors the slice of BENCH_4.json the gate needs.
+type bench4 struct {
+	Benchmarks map[string]struct {
+		After struct {
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func TestJSATAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	data, err := os.ReadFile("BENCH_4.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var base bench4
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("parsing BENCH_4.json: %v", err)
+	}
+	check := func(name string, fn func()) {
+		t.Helper()
+		b, ok := base.Benchmarks[name]
+		if !ok || b.After.AllocsPerOp <= 0 {
+			t.Fatalf("BENCH_4.json has no after.allocs_per_op for %s", name)
+		}
+		got := testing.AllocsPerRun(1, fn)
+		if got > 2*b.After.AllocsPerOp {
+			t.Errorf("%s allocates %.0f/op, over 2x the committed baseline %.0f/op",
+				name, got, b.After.AllocsPerOp)
+		}
+	}
+	// Only the deterministic workloads: Table1Slice depends on a
+	// wall-clock budget, so its allocation count is not reproducible.
+	lfsr := bench.LFSRAtDepth(10, 0x204, 64)
+	check("BenchmarkJSAT_LFSR64Deepen", func() { jsatLFSR64DeepenWorkload(t, lfsr) })
+	fifo := circuits.FIFO(3)
+	check("BenchmarkJSAT_FIFOEnum", func() { jsatFIFOEnumWorkload(t, fifo) })
+	counter := circuits.Counter(8, 120)
+	check("BenchmarkJSAT_DeepCounter", func() { jsatDeepCounterWorkload(t, counter) })
+}

@@ -324,14 +324,109 @@ func BenchmarkSAT_Pigeonhole7(b *testing.B) {
 	}
 }
 
+func jsatDeepCounterWorkload(tb testing.TB, sys *model.System) {
+	s := jsat.New(sys, jsat.Options{})
+	if s.Check(120).Status != bmc.Reachable {
+		tb.Fatal("deep counter must be reachable")
+	}
+}
+
 func BenchmarkJSAT_DeepCounter(b *testing.B) {
 	sys := circuits.Counter(8, 120)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s := jsat.New(sys, jsat.Options{})
-		if s.Check(120).Status != bmc.Reachable {
-			b.Fatal("deep counter must be reachable")
+		jsatDeepCounterWorkload(b, sys)
+	}
+}
+
+// The E10 hot-path benchmarks: jSAT's DFS inner loop is thousands of
+// tiny incremental queries sharing an assumption prefix. queries/s and
+// allocs/op here are the numbers the allocation-free core targets
+// (BENCH_4.json records the before/after).
+
+// benchJSATQueries reports aggregate query throughput of fn, which
+// returns the cumulative query count of one iteration.
+func benchJSATQueries(b *testing.B, fn func() int64) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var queries int64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		queries += fn()
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(queries)/sec, "queries/s")
+	}
+}
+
+// jsatLFSR64DeepenWorkload is the depth-64 LFSR deepening run: one
+// solver checks every bound 1..64 (Unreachable until exactly 64). The
+// hopeless cache grows to O(k²) entries across the run, so any
+// per-query walk of the cache shows up directly in queries/s. Shared by
+// the benchmark and the allocs/op regression gate.
+func jsatLFSR64DeepenWorkload(tb testing.TB, sys *model.System) int64 {
+	s := jsat.New(sys, jsat.Options{Semantics: bmc.Exact})
+	for k := 1; k <= 64; k++ {
+		st := s.Check(k).Status
+		if want := k == 64; (st == bmc.Reachable) != want {
+			tb.Fatalf("lfsr k=%d: %v", k, st)
 		}
 	}
+	return s.Stats.Queries
+}
+
+func BenchmarkJSAT_LFSR64Deepen(b *testing.B) {
+	sys := bench.LFSRAtDepth(10, 0x204, 64)
+	benchJSATQueries(b, func() int64 { return jsatLFSR64DeepenWorkload(b, sys) })
+}
+
+// jsatFIFOEnumWorkload is a branching UNSAT-ish search: wide successor
+// enumeration at every frame, cache-hit heavy — the assumption-prefix
+// reuse workload.
+func jsatFIFOEnumWorkload(tb testing.TB, sys *model.System) int64 {
+	s := jsat.New(sys, jsat.Options{Semantics: bmc.Exact})
+	for _, k := range []int{4, 6, 8} {
+		if s.Check(k).Status == bmc.Unknown {
+			tb.Fatal("fifo: unexpected Unknown")
+		}
+	}
+	return s.Stats.Queries
+}
+
+func BenchmarkJSAT_FIFOEnum(b *testing.B) {
+	sys := circuits.FIFO(3)
+	benchJSATQueries(b, func() int64 { return jsatFIFOEnumWorkload(b, sys) })
+}
+
+// BenchmarkJSAT_Table1Slice sweeps the jSAT-friendly Table-1 families at
+// two bounds each, fresh solver per instance — the end-to-end E1 shape.
+func BenchmarkJSAT_Table1Slice(b *testing.B) {
+	var insts []bench.Instance
+	for _, fam := range bench.Families() {
+		switch fam.Name {
+		case "counter", "counteren", "tokenring", "lfsr", "traffic", "fifo":
+			sys := fam.Build()
+			insts = append(insts,
+				bench.Instance{Family: fam.Name, Sys: sys, K: 5},
+				bench.Instance{Family: fam.Name, Sys: sys, K: 12})
+		}
+	}
+	cfg := benchConfig()
+	benchJSATQueries(b, func() int64 {
+		var queries int64
+		for _, inst := range insts {
+			d := time.Now().Add(cfg.TimeLimit)
+			s := jsat.New(inst.Sys, jsat.Options{
+				Semantics:   bmc.Exact,
+				QueryBudget: cfg.JSATQueries,
+				Deadline:    d,
+				SAT:         sat.Options{ConflictBudget: cfg.JSATConflictsPerQuery, Deadline: d},
+			})
+			s.Check(inst.K)
+			queries += s.Stats.Queries
+		}
+		return queries
+	})
 }
 
 func BenchmarkUnroll_Encode_k64(b *testing.B) {

@@ -1,0 +1,228 @@
+package jsat
+
+// This file implements the interned hopeless-state cache. The old cache
+// hashed a freshly allocated string key per probe and, under Exact
+// semantics, a map[int]bool per entry — a per-query allocation tax plus
+// an O(|cache|) walk whenever memory was accounted. Here a state is
+// packed into []uint64 words in a solver-owned scratch buffer, interned
+// once into a single growable word arena, and looked up through an
+// open-addressing table: probes allocate nothing, and the byte count is
+// maintained incrementally on every insert, so MemBytes never walks the
+// cache.
+//
+// Payload per entry:
+//   - AtMost semantics: the largest remaining-step count proven
+//     hopeless (hopelessness for r subsumes all r' ≤ r).
+//   - Exact semantics: the set of exact remaining counts proven
+//     hopeless, stored as a small sorted slab in one shared []int32
+//     arena (no per-entry map, no per-entry allocation).
+
+// cacheEntry is the per-state payload. 16 bytes.
+type cacheEntry struct {
+	atMost int32 // AtMost: max remaining proven hopeless; -1 = none
+	off    int32 // Exact: slab offset of this entry's remaining counts
+	n      int32 // Exact: number of counts stored
+	cap    int32 // Exact: slab capacity reserved at off
+}
+
+const cacheEntryBytes = 16
+
+// stateCache interns packed state vectors. One instance serves one
+// state width; the semantics decide which payload fields are used.
+type stateCache struct {
+	nbits   int
+	nw      int      // uint64 words per state
+	words   []uint64 // interned states: entry e occupies words[e*nw:(e+1)*nw]
+	table   []int32  // open addressing; 0 = empty, else entry index + 1
+	mask    uint32
+	entries []cacheEntry
+	slab    []int32  // Exact-mode remaining-count slabs
+	scratch []uint64 // pack buffer reused by every probe
+	bytes   int      // incrementally maintained footprint
+}
+
+func newStateCache(nbits int) *stateCache {
+	nw := (nbits + 63) / 64
+	if nw == 0 {
+		nw = 1
+	}
+	c := &stateCache{
+		nbits:   nbits,
+		nw:      nw,
+		table:   make([]int32, 64),
+		mask:    63,
+		scratch: make([]uint64, nw),
+	}
+	c.bytes = len(c.table)*4 + nw*8
+	return c
+}
+
+func (c *stateCache) size() int { return len(c.entries) }
+
+// pack writes state into the scratch buffer.
+func (c *stateCache) pack(state []bool) {
+	for i := range c.scratch {
+		c.scratch[i] = 0
+	}
+	for i, v := range state {
+		if v {
+			c.scratch[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// hash is FNV-1a over the packed words.
+func (c *stateCache) hash() uint32 {
+	h := uint64(14695981039346656037)
+	for _, w := range c.scratch {
+		h ^= w
+		h *= 1099511628211
+	}
+	return uint32(h ^ h>>32)
+}
+
+// equal compares entry e's interned words to the scratch buffer.
+func (c *stateCache) equal(e int32) bool {
+	w := c.words[int(e)*c.nw : (int(e)+1)*c.nw]
+	for i, x := range c.scratch {
+		if w[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// find returns the entry index of the scratch state, or -1.
+func (c *stateCache) find() int32 {
+	for i := c.hash() & c.mask; ; i = (i + 1) & c.mask {
+		t := c.table[i]
+		if t == 0 {
+			return -1
+		}
+		if c.equal(t - 1) {
+			return t - 1
+		}
+	}
+}
+
+// intern returns the entry index of the scratch state, inserting a
+// fresh entry when absent. The scratch buffer is clobbered when the
+// insert triggers a table growth — callers must not rely on it after.
+func (c *stateCache) intern() int32 {
+	for i := c.hash() & c.mask; ; i = (i + 1) & c.mask {
+		t := c.table[i]
+		if t != 0 {
+			if c.equal(t - 1) {
+				return t - 1
+			}
+			continue
+		}
+		e := int32(len(c.entries))
+		// bytes tracks backing-array capacity, not length: append's
+		// geometric growth is real heap the accounting must not hide.
+		oldEnt, oldWords := cap(c.entries), cap(c.words)
+		c.entries = append(c.entries, cacheEntry{atMost: -1})
+		c.words = append(c.words, c.scratch...)
+		c.bytes += (cap(c.entries)-oldEnt)*cacheEntryBytes + (cap(c.words)-oldWords)*8
+		c.table[i] = e + 1
+		if 4*len(c.entries) >= 3*len(c.table) {
+			c.grow()
+		}
+		return e
+	}
+}
+
+// grow doubles the open-addressing table and rehashes every entry
+// through the scratch buffer.
+func (c *stateCache) grow() {
+	old := len(c.table)
+	c.table = make([]int32, 2*old)
+	c.mask = uint32(len(c.table) - 1)
+	c.bytes += (len(c.table) - old) * 4
+	for e := range c.entries {
+		copy(c.scratch, c.words[e*c.nw:(e+1)*c.nw])
+		for i := c.hash() & c.mask; ; i = (i + 1) & c.mask {
+			if c.table[i] == 0 {
+				c.table[i] = int32(e) + 1
+				break
+			}
+		}
+	}
+}
+
+// hopelessAtMost reports whether state is cached hopeless for r
+// remaining steps under AtMost subsumption (any cached r' ≥ r hits).
+func (c *stateCache) hopelessAtMost(state []bool, r int) bool {
+	c.pack(state)
+	e := c.find()
+	return e >= 0 && int32(r) <= c.entries[e].atMost
+}
+
+// markAtMost records state hopeless for r remaining steps.
+func (c *stateCache) markAtMost(state []bool, r int) {
+	c.pack(state)
+	e := c.intern()
+	if int32(r) > c.entries[e].atMost {
+		c.entries[e].atMost = int32(r)
+	}
+}
+
+// lowerBound returns the slab position of the first count ≥ r within
+// entry en, as an absolute slab index.
+func (c *stateCache) lowerBound(en *cacheEntry, r int32) int {
+	lo, hi := int(en.off), int(en.off)+int(en.n)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.slab[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// hopelessExact reports whether state is cached hopeless for exactly r
+// remaining steps.
+func (c *stateCache) hopelessExact(state []bool, r int) bool {
+	c.pack(state)
+	e := c.find()
+	if e < 0 {
+		return false
+	}
+	en := &c.entries[e]
+	p := c.lowerBound(en, int32(r))
+	return p < int(en.off)+int(en.n) && c.slab[p] == int32(r)
+}
+
+// markExact records state hopeless for exactly r remaining steps,
+// keeping the entry's slab sorted. Slabs grow geometrically inside the
+// shared arena; the abandoned old region stays allocated and stays
+// counted — bytes tracks real footprint, not live payload.
+func (c *stateCache) markExact(state []bool, r int) {
+	c.pack(state)
+	e := c.intern()
+	en := &c.entries[e]
+	p := c.lowerBound(en, int32(r))
+	if p < int(en.off)+int(en.n) && c.slab[p] == int32(r) {
+		return
+	}
+	if en.n == en.cap {
+		ncap := 2 * en.cap
+		if ncap == 0 {
+			ncap = 4
+		}
+		noff := int32(len(c.slab))
+		oldSlab := cap(c.slab)
+		c.slab = append(c.slab, make([]int32, ncap)...)
+		c.bytes += (cap(c.slab) - oldSlab) * 4
+		copy(c.slab[noff:noff+en.n], c.slab[en.off:en.off+en.n])
+		p = p - int(en.off) + int(noff)
+		en.off, en.cap = noff, ncap
+	}
+	seg := c.slab[en.off : en.off+en.n+1]
+	rel := p - int(en.off)
+	copy(seg[rel+1:], seg[rel:])
+	seg[rel] = int32(r)
+	en.n++
+}

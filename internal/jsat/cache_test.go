@@ -1,0 +1,199 @@
+package jsat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mapCache is the pre-interning reference implementation: string-keyed
+// maps with exactly the semantics the old jsat.go used. The interned
+// cache must be observationally identical to it.
+type mapCache struct {
+	atMost map[string]int
+	exact  map[string]map[int]bool
+}
+
+func newMapCache() *mapCache {
+	return &mapCache{atMost: map[string]int{}, exact: map[string]map[int]bool{}}
+}
+
+func keyOf(state []bool) string {
+	b := make([]byte, (len(state)+7)/8)
+	for i, v := range state {
+		if v {
+			b[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return string(b)
+}
+
+func (m *mapCache) hopelessAtMost(state []bool, r int) bool {
+	c, ok := m.atMost[keyOf(state)]
+	return ok && r <= c
+}
+
+func (m *mapCache) markAtMost(state []bool, r int) {
+	k := keyOf(state)
+	if c, ok := m.atMost[k]; !ok || r > c {
+		m.atMost[k] = r
+	}
+}
+
+func (m *mapCache) hopelessExact(state []bool, r int) bool {
+	return m.exact[keyOf(state)][r]
+}
+
+func (m *mapCache) markExact(state []bool, r int) {
+	k := keyOf(state)
+	e := m.exact[k]
+	if e == nil {
+		e = map[int]bool{}
+		m.exact[k] = e
+	}
+	e[r] = true
+}
+
+func (m *mapCache) size(exact bool) int {
+	if exact {
+		return len(m.exact)
+	}
+	return len(m.atMost)
+}
+
+// runCacheOps drives both implementations through one randomized
+// mark/probe sequence at the given width and verifies agreement.
+func runCacheOps(t *testing.T, rng *rand.Rand, width, ops int, exact bool) {
+	t.Helper()
+	ic := newStateCache(width)
+	mc := newMapCache()
+	// A small state universe forces collisions and repeat marks.
+	universe := make([][]bool, 1+rng.Intn(40))
+	for i := range universe {
+		st := make([]bool, width)
+		for j := range st {
+			st[j] = rng.Intn(2) == 0
+		}
+		universe[i] = st
+	}
+	for op := 0; op < ops; op++ {
+		st := universe[rng.Intn(len(universe))]
+		r := 1 + rng.Intn(12)
+		if rng.Intn(2) == 0 {
+			if exact {
+				ic.markExact(st, r)
+				mc.markExact(st, r)
+			} else {
+				ic.markAtMost(st, r)
+				mc.markAtMost(st, r)
+			}
+			continue
+		}
+		var got, want bool
+		if exact {
+			got, want = ic.hopelessExact(st, r), mc.hopelessExact(st, r)
+		} else {
+			got, want = ic.hopelessAtMost(st, r), mc.hopelessAtMost(st, r)
+		}
+		if got != want {
+			t.Fatalf("width=%d exact=%v op=%d state=%v r=%d: interned=%v map=%v",
+				width, exact, op, st, r, got, want)
+		}
+	}
+	if got, want := ic.size(), mc.size(exact); got != want {
+		t.Fatalf("width=%d exact=%v: size interned=%d map=%d", width, exact, got, want)
+	}
+	if ic.bytes <= 0 {
+		t.Fatalf("width=%d: non-positive byte accounting %d", width, ic.bytes)
+	}
+}
+
+// TestStateCacheDifferential runs old-map vs new-interned semantics
+// side by side over randomized mark/probe sequences, both AtMost and
+// Exact, across widths that straddle the uint64 word boundaries.
+func TestStateCacheDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	widths := []int{1, 2, 7, 8, 9, 31, 32, 33, 63, 64, 65, 70}
+	for _, w := range widths {
+		for _, exact := range []bool{false, true} {
+			for round := 0; round < 6; round++ {
+				runCacheOps(t, rng, w, 400, exact)
+			}
+		}
+	}
+}
+
+// TestStateCacheGrowth pushes one cache through table growths and slab
+// reallocations and checks byte accounting stays monotone.
+func TestStateCacheGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ic := newStateCache(65)
+	mc := newMapCache()
+	last := ic.bytes
+	for i := 0; i < 3000; i++ {
+		st := make([]bool, 65)
+		for j := range st {
+			st[j] = rng.Intn(2) == 0
+		}
+		r := 1 + rng.Intn(30)
+		ic.markExact(st, r)
+		mc.markExact(st, r)
+		if ic.bytes < last {
+			t.Fatalf("byte accounting shrank on insert: %d -> %d", last, ic.bytes)
+		}
+		last = ic.bytes
+		if !ic.hopelessExact(st, r) {
+			t.Fatalf("insert %d not found back", i)
+		}
+	}
+	if ic.size() != mc.size(true) {
+		t.Fatalf("size: interned=%d map=%d", ic.size(), mc.size(true))
+	}
+}
+
+// FuzzStateCache feeds op sequences into both cache implementations.
+// Byte layout: data[0] selects the width (1..70), data[1] the
+// semantics; then each op consumes 3 bytes: kind, state seed, remaining.
+func FuzzStateCache(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 1, 1, 1, 1, 1})
+	f.Add([]byte{63, 1, 0, 200, 5, 1, 200, 5})
+	f.Add([]byte{64, 0, 0, 9, 2, 1, 9, 2, 1, 9, 3})
+	f.Add([]byte{65, 1, 0, 77, 11, 1, 77, 11, 0, 78, 11})
+	f.Add([]byte{70, 0, 0, 255, 31, 0, 254, 30, 1, 255, 31, 1, 254, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		width := 1 + int(data[0])%70
+		exact := data[1]%2 == 1
+		ic := newStateCache(width)
+		mc := newMapCache()
+		st := make([]bool, width)
+		for i := 2; i+2 < len(data); i += 3 {
+			// Derive a state deterministically from the seed byte.
+			seed := uint64(data[i+1])*2654435761 + 1
+			for j := range st {
+				st[j] = (seed>>(uint(j)%63))&1 == 1
+			}
+			r := 1 + int(data[i+2])%40
+			switch {
+			case data[i]%2 == 0 && exact:
+				ic.markExact(st, r)
+				mc.markExact(st, r)
+			case data[i]%2 == 0:
+				ic.markAtMost(st, r)
+				mc.markAtMost(st, r)
+			case exact:
+				if got, want := ic.hopelessExact(st, r), mc.hopelessExact(st, r); got != want {
+					t.Fatalf("exact probe mismatch: interned=%v map=%v", got, want)
+				}
+			default:
+				if got, want := ic.hopelessAtMost(st, r), mc.hopelessAtMost(st, r); got != want {
+					t.Fatalf("atmost probe mismatch: interned=%v map=%v", got, want)
+				}
+			}
+		}
+		if ic.size() != mc.size(exact) {
+			t.Fatalf("size mismatch: interned=%d map=%d", ic.size(), mc.size(exact))
+		}
+	})
+}

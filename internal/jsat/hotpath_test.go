@@ -1,0 +1,109 @@
+package jsat
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bmc"
+	"repro/internal/circuits"
+	"repro/internal/explicit"
+)
+
+// TestDeadlinePolledOnFramePushes pins the budget-poll fix: the old
+// schedule checked the clock only when Queries%32 == 0, so a stretch of
+// the search dominated by cache hits and frame pushes (which issue no
+// queries) could overshoot the deadline indefinitely. budgetExceeded is
+// now called — and counts — on frame pushes too, so an expired deadline
+// is noticed within 32 polls even when the query counter never moves.
+func TestDeadlinePolledOnFramePushes(t *testing.T) {
+	s := New(circuits.Counter(3, 5), Options{Deadline: time.Now().Add(-time.Second)})
+	// Misalign the query counter so the old schedule would never poll.
+	s.Stats.Queries = 7
+	for i := 0; i < 33; i++ {
+		if s.budgetExceeded() {
+			if i == 0 {
+				t.Fatalf("deadline noticed before any poll tick")
+			}
+			return
+		}
+	}
+	t.Fatalf("expired deadline not noticed within 33 query-free polls")
+}
+
+// TestSetDeadlineAbortsSearch re-arms an already-expired deadline on a
+// warm solver: the next Check must return Unknown promptly rather than
+// re-running the search.
+func TestSetDeadlineAbortsSearch(t *testing.T) {
+	// Deterministic 40-step walk: ≥ 80 budget polls, so the every-32nd
+	// clock check must fire no matter where the poll counter starts.
+	sys := circuits.Counter(8, 250)
+	s := New(sys, Options{})
+	if r := s.Check(3); r.Status == bmc.Unknown {
+		t.Fatalf("warm-up check unexpectedly Unknown")
+	}
+	s.SetDeadline(time.Now().Add(-time.Second))
+	start := time.Now()
+	if r := s.Check(40); r.Status != bmc.Unknown {
+		t.Fatalf("expired deadline: got %v, want Unknown", r.Status)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("expired deadline honored only after %v", el)
+	}
+	// Removing the deadline restores normal operation.
+	s.SetDeadline(time.Time{})
+	chk := explicit.New(sys)
+	r := s.Check(40)
+	if want := chk.ReachableExact(40); (r.Status == bmc.Reachable) != want || r.Status == bmc.Unknown {
+		t.Fatalf("after deadline removal: jsat=%v explicit=%v", r.Status, want)
+	}
+}
+
+// TestJSATTrailReuse checks that the DFS actually exercises the
+// solver's assumption-prefix reuse and stays correct: on a branching
+// enumeration workload a solver must report reused assumption levels,
+// and verdicts must match the explicit oracle with reuse forced off.
+func TestJSATTrailReuse(t *testing.T) {
+	sys := circuits.FIFO(3)
+	chk := explicit.New(sys)
+	s := New(sys, Options{Semantics: bmc.Exact})
+	var off Options
+	off.Semantics = bmc.Exact
+	off.SAT.DisableTrailReuse = true
+	noReuse := New(sys, off)
+	for k := 0; k <= 7; k++ {
+		want := chk.ReachableExact(k)
+		r := s.Check(k)
+		rn := noReuse.Check(k)
+		if (r.Status == bmc.Reachable) != want || r.Status == bmc.Unknown {
+			t.Fatalf("k=%d with reuse: jsat=%v explicit=%v", k, r.Status, want)
+		}
+		if (rn.Status == bmc.Reachable) != want || rn.Status == bmc.Unknown {
+			t.Fatalf("k=%d without reuse: jsat=%v explicit=%v", k, rn.Status, want)
+		}
+	}
+	if s.Stats.AssumptionsGiven == 0 || s.Stats.AssumptionsReused == 0 {
+		t.Fatalf("no trail reuse recorded: given=%d reused=%d",
+			s.Stats.AssumptionsGiven, s.Stats.AssumptionsReused)
+	}
+	if noReuse.Stats.AssumptionsReused != 0 {
+		t.Fatalf("reuse-disabled solver reported %d reused levels", noReuse.Stats.AssumptionsReused)
+	}
+}
+
+// TestMemBytesNeverWalksNegative sanity-checks the incremental
+// accounting against heavy cache traffic: MemBytes must stay positive
+// and monotone under inserts within one Check's cache growth.
+func TestMemBytesAccounting(t *testing.T) {
+	sys := circuits.FIFO(3)
+	s := New(sys, Options{Semantics: bmc.Exact})
+	if s.MemBytes() <= 0 {
+		t.Fatalf("MemBytes=%d before any check", s.MemBytes())
+	}
+	s.Check(6)
+	if s.cache.size() == 0 {
+		t.Skipf("workload produced no cache entries")
+	}
+	if s.Stats.PeakBytes < s.cache.bytes {
+		t.Fatalf("peak %d below cache footprint %d", s.Stats.PeakBytes, s.cache.bytes)
+	}
+}

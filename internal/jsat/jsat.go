@@ -65,6 +65,12 @@ type Stats struct {
 	CacheHits    int64
 	CacheSize    int
 	PeakBytes    int // high-water estimate of solver memory
+	// AssumptionsGiven / AssumptionsReused mirror the underlying CDCL
+	// solvers' trail-reuse counters (step + init), refreshed after every
+	// Check: the fraction reused is the share of assumption levels the
+	// successor enumeration got back for free.
+	AssumptionsGiven  int64
+	AssumptionsReused int64
 }
 
 // Solver is a reusable jSAT instance for one system. Create with New;
@@ -90,12 +96,45 @@ type Solver struct {
 	izVars []cnf.Var // F-cone inputs in the init solver
 	actBad cnf.Var
 
-	// hopeless cache: state key -> largest remaining-step count proven
-	// hopeless (AtMost), or set of exact remaining counts (Exact).
-	cacheAtMost map[string]int
-	cacheExact  map[string]map[int]bool
+	// hopeless cache: interned packed states with per-semantics payload
+	// (see cache.go). Probes allocate nothing.
+	cache *stateCache
 
+	// frames[r] holds the reusable per-depth buffers of the DFS frame
+	// with r transitions remaining: the concrete state, the inputs of
+	// the step taken from it, and its assumption vector. The recursion
+	// at depth r only ever touches slots ≤ r, so the buffers live for
+	// the whole search and the inner loop allocates nothing.
+	frames []frameSlot
+	// actPool[r] is the pooled activation variable guarding blocking
+	// clauses of frames with r remaining (cache-enabled mode; see
+	// frameAct). 0 = not yet allocated. actDirty[r] records whether any
+	// blocking clause was added under it — clean variables are reused
+	// across Checks instead of being retired.
+	actPool  []cnf.Var
+	actDirty []bool
+	// rootActPool is the pooled init-solver guard for initial-state
+	// blocking, reused across Checks while clean (0 = not allocated);
+	// retired and reallocated only when a Check actually blocked under
+	// it — blocked initial states are k-specific and must not leak into
+	// the next bound.
+	rootActPool cnf.Var
+	// clauseBuf is the blocking-clause scratch (consumed by AddClause).
+	clauseBuf []cnf.Lit
+	// pathBuf backs the witness path across Check calls.
+	pathBuf []frameRec
+
+	pollTick    int64 // budget-poll counter: queries AND frame pushes
+	stepRetired bool  // step-solver guards retired since last Simplify
+	initRetired bool  // init-solver guards retired since last Simplify
 	deadlineHit bool
+}
+
+// frameSlot is the reusable buffer set of one DFS depth.
+type frameSlot struct {
+	state  []bool
+	inputs []bool
+	assume []cnf.Lit
 }
 
 // frameRec captures one decided step of the path for witness assembly.
@@ -111,14 +150,24 @@ func New(sys *model.System, opts Options) *Solver {
 	}
 	prepared := bmc.Prepare(sys, opts.Semantics)
 	s := &Solver{
-		opts:        opts,
-		sys:         prepared,
-		cacheAtMost: make(map[string]int),
-		cacheExact:  make(map[string]map[int]bool),
+		opts: opts,
+		sys:  prepared,
 	}
+	s.cache = newStateCache(prepared.Circ.NumLatches())
 	s.buildStepSolver()
 	s.buildInitSolver()
 	return s
+}
+
+// SetDeadline replaces the search deadline (and the per-query deadline
+// of both underlying solvers), letting clients that keep one jSAT
+// instance alive across bounds re-arm a timeout. A zero time removes
+// the deadline.
+func (s *Solver) SetDeadline(t time.Time) {
+	s.opts.Deadline = t
+	s.deadlineHit = false
+	s.step.SetDeadline(t)
+	s.init.SetDeadline(t)
 }
 
 // System returns the system actually searched (post-transform).
@@ -203,16 +252,14 @@ func loadFormula(s *sat.Solver, f *cnf.Formula) {
 	}
 }
 
-// MemBytes estimates the solver's live formula memory: the single TR
-// copy, the init/bad cones, the path states, and the caches. This is the
-// paper's space claim made measurable (experiment E3).
+// MemBytes reports the solver's live formula memory: the single TR
+// copy, the init/bad cones, and the hopeless cache. This is the paper's
+// space claim made measurable (experiment E3). Every term is maintained
+// incrementally — ClauseDBBytes tracks watch capacity as it grows and
+// the cache counts bytes on insert — so the per-query peak sampling in
+// noteMem is O(1) instead of the old walk over the whole cache.
 func (s *Solver) MemBytes() int {
-	n := s.step.ClauseDBBytes() + s.init.ClauseDBBytes()
-	n += len(s.cacheAtMost) * 32
-	for _, m := range s.cacheExact {
-		n += 32 + len(m)*16
-	}
-	return n
+	return s.step.ClauseDBBytes() + s.init.ClauseDBBytes() + s.cache.bytes
 }
 
 func (s *Solver) noteMem() {
@@ -221,92 +268,176 @@ func (s *Solver) noteMem() {
 	}
 }
 
-func keyOf(state []bool) string {
-	b := make([]byte, (len(state)+7)/8)
-	for i, v := range state {
-		if v {
-			b[i/8] |= 1 << uint(i%8)
-		}
-	}
-	return string(b)
-}
-
 func (s *Solver) isHopeless(state []bool, remaining int) bool {
 	if s.opts.DisableCache {
 		return false
 	}
-	k := keyOf(state)
+	var hit bool
 	if s.opts.Semantics == bmc.AtMost {
-		if r, ok := s.cacheAtMost[k]; ok && remaining <= r {
-			s.Stats.CacheHits++
-			return true
-		}
-		return false
+		hit = s.cache.hopelessAtMost(state, remaining)
+	} else {
+		hit = s.cache.hopelessExact(state, remaining)
 	}
-	if m, ok := s.cacheExact[k]; ok && m[remaining] {
+	if hit {
 		s.Stats.CacheHits++
-		return true
 	}
-	return false
+	return hit
 }
 
 func (s *Solver) markHopeless(state []bool, remaining int) {
 	if s.opts.DisableCache {
 		return
 	}
-	k := keyOf(state)
 	if s.opts.Semantics == bmc.AtMost {
-		if r, ok := s.cacheAtMost[k]; !ok || remaining > r {
-			s.cacheAtMost[k] = remaining
-		}
-		s.Stats.CacheSize = len(s.cacheAtMost)
-		return
+		s.cache.markAtMost(state, remaining)
+	} else {
+		s.cache.markExact(state, remaining)
 	}
-	m := s.cacheExact[k]
-	if m == nil {
-		m = make(map[int]bool)
-		s.cacheExact[k] = m
-	}
-	m[remaining] = true
-	s.Stats.CacheSize = len(s.cacheExact)
+	s.Stats.CacheSize = s.cache.size()
 }
 
+// budgetExceeded polls every search budget. It is called before every
+// SAT query AND on every frame push: the deadline is checked every 32nd
+// call, so a stretch of the search dominated by cache hits and frame
+// pushes (no queries at all) can no longer starve the clock poll — the
+// old schedule only counted queries.
 func (s *Solver) budgetExceeded() bool {
+	if s.deadlineHit {
+		return true
+	}
 	if s.opts.QueryBudget > 0 && s.Stats.Queries >= s.opts.QueryBudget {
 		return true
 	}
 	if s.opts.Cancel.Canceled() {
 		return true
 	}
-	if !s.opts.Deadline.IsZero() && s.Stats.Queries%32 == 0 && time.Now().After(s.opts.Deadline) {
+	s.pollTick++
+	if !s.opts.Deadline.IsZero() && s.pollTick%32 == 0 && time.Now().After(s.opts.Deadline) {
 		s.deadlineHit = true
 	}
 	return s.deadlineHit
 }
 
-// assumeState binds the given variable vector to a concrete state.
-func assumeState(vars []cnf.Var, state []bool) []cnf.Lit {
-	out := make([]cnf.Lit, len(vars))
-	for i, v := range vars {
-		out[i] = cnf.MkLit(v, !state[i])
+// ensureFrames grows the per-depth buffer pool to cover remaining
+// counts 0..k. Slot widths are fixed by the system, so this allocates
+// only on the first Check of a new high bound.
+func (s *Solver) ensureFrames(k int) {
+	n := s.sys.Circ.NumLatches()
+	in := s.sys.Circ.NumInputs()
+	for len(s.frames) <= k {
+		s.frames = append(s.frames, frameSlot{
+			state:  make([]bool, n),
+			inputs: make([]bool, in),
+			assume: make([]cnf.Lit, 0, n+2),
+		})
 	}
-	return out
 }
 
-// diffClause returns the clause "V differs from state", guarded by act.
-func diffClause(act cnf.Var, vars []cnf.Var, state []bool) []cnf.Lit {
-	out := make([]cnf.Lit, 0, len(vars)+1)
-	out = append(out, cnf.NegLit(act))
+// frameAct returns the activation variable guarding the blocking
+// clauses of a frame with `remaining` transitions left.
+//
+// With the cache enabled the variable is pooled per remaining-count for
+// the duration of one Check, not retired on frame pop: a blocked
+// successor is precisely a state proven hopeless with remaining-1 steps
+// left — a fact that depends only on (state, remaining-1), like the
+// hopeless cache itself — so clauses guarded by the pooled variable
+// stay sound across frames at the same depth, acting as a SAT-level
+// mirror of the cache while keeping the step solver's variable table
+// from growing with every frame push (FramesPushed can dwarf k). The
+// pool is retired wholesale at the next Check's entry: still-active
+// blocking clauses would keep shuffling watch lists on every later
+// query, so bounding their lifetime to one Check keeps propagation
+// O(live clauses) — the hopeless cache already carries the pruning
+// across bounds.
+//
+// With the cache disabled (ablation E5) every frame gets a fresh
+// variable, retired by a unit clause on pop — the pre-pooling
+// semantics, so the ablation still measures a search without
+// cross-frame pruning.
+func (s *Solver) frameAct(remaining int) (act cnf.Var, pooled bool) {
+	if s.opts.DisableCache {
+		return s.step.NewVar(), false
+	}
+	for len(s.actPool) <= remaining {
+		s.actPool = append(s.actPool, 0)
+		s.actDirty = append(s.actDirty, false)
+	}
+	if s.actPool[remaining] == 0 {
+		s.actPool[remaining] = s.step.NewVar()
+	}
+	return s.actPool[remaining], true
+}
+
+// retireActPool switches off every pooled activation variable that
+// guards blocking clauses — called at Check entry, so each Check starts
+// with no foreign blocking clauses in its propagation hot path. Clean
+// variables (a deterministic walk blocks nothing) stay in the pool and
+// are reused, so such runs neither grow the variable table across
+// bounds nor pay a Simplify sweep.
+func (s *Solver) retireActPool() {
+	for i, v := range s.actPool {
+		if v != 0 && s.actDirty[i] {
+			s.step.AddClause(cnf.NegLit(v))
+			s.actPool[i] = 0
+			s.actDirty[i] = false
+			s.stepRetired = true
+		}
+	}
+}
+
+// maybeSimplify reclaims clauses guarded by retired activation
+// literals (root-satisfied garbage) — their arena space, watchers, and
+// propagation cost all return to zero. Each solver is swept only when
+// one of its own guards was retired.
+func (s *Solver) maybeSimplify() {
+	if s.stepRetired {
+		s.stepRetired = false
+		s.step.Simplify()
+	}
+	if s.initRetired {
+		s.initRetired = false
+		s.init.Simplify()
+	}
+}
+
+// assumeInto writes the assumption literals binding vars to state into
+// dst, reusing its backing array.
+func assumeInto(dst []cnf.Lit, vars []cnf.Var, state []bool) []cnf.Lit {
+	dst = dst[:0]
+	for i, v := range vars {
+		dst = append(dst, cnf.MkLit(v, !state[i]))
+	}
+	return dst
+}
+
+// blockClause builds "vars differ from state, unless act is off" in the
+// solver's scratch buffer (AddClause consumes it before returning).
+func (s *Solver) blockClause(act cnf.Var, vars []cnf.Var, state []bool) []cnf.Lit {
+	out := append(s.clauseBuf[:0], cnf.NegLit(act))
 	for i, v := range vars {
 		out = append(out, cnf.MkLit(v, state[i]))
 	}
+	s.clauseBuf = out
 	return out
 }
 
+// readVarsInto decodes the model values of vars into dst.
+func readVarsInto(dst []bool, solver *sat.Solver, vars []cnf.Var) {
+	for i, v := range vars {
+		dst[i] = solver.Value(v) == cnf.True
+	}
+}
+
+// readVars is the allocating variant, for the rare witness paths.
 func (s *Solver) readVars(solver *sat.Solver, vars []cnf.Var) []bool {
 	out := make([]bool, len(vars))
-	for i, v := range vars {
-		out[i] = solver.Value(v) == cnf.True
-	}
+	readVarsInto(out, solver, vars)
+	return out
+}
+
+// cloneBools copies a pooled buffer for retention in a witness.
+func cloneBools(b []bool) []bool {
+	out := make([]bool, len(b))
+	copy(out, b)
 	return out
 }

@@ -18,12 +18,98 @@ func (s *Solver) locked(c ClauseRef) bool {
 // It gives incremental clients that keep one solver alive across many
 // queries a deterministic handle on retained-clause memory between
 // queries; the clause-retention regression tests drive deletion
-// through it.
+// through it. Any trail retained for prefix reuse is dropped first: a
+// deliberate database shrink is worth losing one reusable prefix.
 func (s *Solver) ReduceDB() {
-	if s.decisionLevel() != 0 {
-		panic("sat: ReduceDB called during search")
-	}
+	s.cancelUntil(0)
 	s.reduceDB()
+}
+
+// Simplify removes clauses satisfied at the root level — in the
+// incremental engines these are chiefly blocking clauses whose
+// activation literal was retired by a unit clause: dead weight that
+// propagation still walks and the arena still stores. The clauses are
+// marked dead and the slab compacted in the same single-sweep garbage
+// collection reduceDB uses, so retired guarded clauses actually return
+// their arena space. Root-level facts keep their assignments (they need
+// no reasons), and any retained trail is dropped.
+func (s *Solver) Simplify() {
+	s.cancelUntil(0)
+	if !s.ok {
+		return
+	}
+	if s.propagate() != crefUndef {
+		s.ok = false
+		return
+	}
+	// Root-level assignments never participate in conflict analysis, so
+	// their reason clauses are free to be collected.
+	for _, l := range s.trail {
+		s.reason[l.Var()] = crefUndef
+	}
+	dead := 0
+	sweep := func(refs []ClauseRef) []ClauseRef {
+		kept := refs[:0]
+		for _, c := range refs {
+			if s.satisfiedAtRoot(c) {
+				s.arena.setDead(c)
+				dead++
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		return kept
+	}
+	s.clauses = sweep(s.clauses)
+	s.learnts = sweep(s.learnts)
+	if dead > 0 {
+		s.garbageCollect()
+	}
+	// Binary clauses live outside the arena: sweep the inline lists too
+	// (a 2-literal blocking clause behind a retired guard would
+	// otherwise sit in both binary watch lists forever) and rebuild the
+	// watch lists from the survivors. Truncation keeps the backing
+	// arrays, so watchCapBytes is unchanged and the re-adds never grow.
+	binDead := 0
+	litTrue := func(l cnf.Lit) bool {
+		return s.value(l) == cnf.True && s.level[l.Var()] == 0
+	}
+	sweepBin := func(list [][2]cnf.Lit) [][2]cnf.Lit {
+		kept := list[:0]
+		for _, c := range list {
+			if litTrue(c[0]) || litTrue(c[1]) {
+				binDead++
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		return kept
+	}
+	s.binClauses = sweepBin(s.binClauses)
+	s.binLearnts = sweepBin(s.binLearnts)
+	if binDead > 0 {
+		for i := range s.binWatches {
+			s.binWatches[i] = s.binWatches[i][:0]
+		}
+		for _, c := range s.binClauses {
+			s.pushBinWatch(c[0].Neg(), c[1])
+			s.pushBinWatch(c[1].Neg(), c[0])
+		}
+		for _, c := range s.binLearnts {
+			s.pushBinWatch(c[0].Neg(), c[1])
+			s.pushBinWatch(c[1].Neg(), c[0])
+		}
+	}
+}
+
+// satisfiedAtRoot reports whether some literal of c is true at level 0.
+func (s *Solver) satisfiedAtRoot(c ClauseRef) bool {
+	for _, l := range s.arena.lits(c) {
+		if s.value(l) == cnf.True && s.level[l.Var()] == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // reduceDB removes roughly half of the learnt clauses, preferring to

@@ -1,0 +1,257 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// randClause draws a random clause of length 1..4 over n variables.
+func randClause(rng *rand.Rand, n int) []cnf.Lit {
+	k := 1 + rng.Intn(4)
+	lits := make([]cnf.Lit, k)
+	for i := range lits {
+		lits[i] = cnf.MkLit(cnf.Var(1+rng.Intn(n)), rng.Intn(2) == 0)
+	}
+	return lits
+}
+
+// randAssumptions draws up to 6 assumption literals over distinct vars.
+func randAssumptions(rng *rand.Rand, n int) []cnf.Lit {
+	k := rng.Intn(7)
+	if k > n {
+		k = n
+	}
+	seen := map[cnf.Var]bool{}
+	var out []cnf.Lit
+	for len(out) < k {
+		v := cnf.Var(1 + rng.Intn(n))
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, cnf.MkLit(v, rng.Intn(2) == 0))
+	}
+	return out
+}
+
+// TestTrailReuseDifferential cross-checks Solve with and without trail
+// reuse on randomized incremental sequences: interleaved clause
+// additions and assumption queries must produce identical statuses, the
+// reusing solver's models must satisfy every clause, and after every
+// Unsat-under-assumptions the failed-assumption set must be a genuinely
+// unsatisfiable subset of the assumptions (checked on a fresh solver).
+func TestTrailReuseDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 60; round++ {
+		n := 5 + rng.Intn(20)
+		reuse := New(Options{})
+		base := New(Options{DisableTrailReuse: true})
+		for i := 0; i < n; i++ {
+			reuse.NewVar()
+			base.NewVar()
+		}
+		var clauses [][]cnf.Lit
+		for step := 0; step < 60; step++ {
+			if rng.Intn(3) == 0 {
+				c := randClause(rng, n)
+				clauses = append(clauses, c)
+				reuse.AddClause(c...)
+				base.AddClause(c...)
+				continue
+			}
+			as := randAssumptions(rng, n)
+			got := reuse.Solve(as...)
+			want := base.Solve(as...)
+			if got != want {
+				t.Fatalf("round %d step %d: reuse=%v noreuse=%v under %v", round, step, got, want, as)
+			}
+			switch got {
+			case Sat:
+				checkModel(t, reuse, clauses, as)
+			case Unsat:
+				if len(reuse.FailedAssumptions()) > 0 {
+					checkFailedAssumptions(t, reuse.FailedAssumptions(), as, clauses, n)
+				}
+			}
+			if !reuse.Okay() || !base.Okay() {
+				if reuse.Solve() != Unsat || base.Solve() != Unsat {
+					t.Fatalf("round %d: top-level unsat disagreement", round)
+				}
+				break
+			}
+		}
+	}
+}
+
+// checkModel verifies the model satisfies every added clause and every
+// assumption.
+func checkModel(t *testing.T, s *Solver, clauses [][]cnf.Lit, as []cnf.Lit) {
+	t.Helper()
+	for _, a := range as {
+		if s.LitValue(a) != cnf.True {
+			t.Fatalf("model violates assumption %v", a)
+		}
+	}
+	for _, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if s.LitValue(l) == cnf.True {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("model violates clause %v", c)
+		}
+	}
+}
+
+// checkFailedAssumptions verifies the conflict vector is a subset of the
+// negated assumptions and that the subset alone is already unsatisfiable
+// with the clauses, using a fresh solver as the oracle.
+func checkFailedAssumptions(t *testing.T, conflict, as []cnf.Lit, clauses [][]cnf.Lit, n int) {
+	t.Helper()
+	inAs := map[cnf.Lit]bool{}
+	for _, a := range as {
+		inAs[a] = true
+	}
+	sub := make([]cnf.Lit, 0, len(conflict))
+	for _, c := range conflict {
+		if !inAs[c.Neg()] {
+			t.Fatalf("conflict literal %v is not a negated assumption of %v", c, as)
+		}
+		sub = append(sub, c.Neg())
+	}
+	oracle := New(Options{})
+	for i := 0; i < n; i++ {
+		oracle.NewVar()
+	}
+	for _, c := range clauses {
+		oracle.AddClause(c...)
+	}
+	if got := oracle.Solve(sub...); got != Unsat {
+		t.Fatalf("failed-assumption subset %v not actually unsat: %v", sub, got)
+	}
+}
+
+// TestAssumptionsReusedCounter pins the reuse accounting: re-solving
+// under an identical assumption vector must reuse the whole prefix, and
+// a diverging vector only the shared part.
+func TestAssumptionsReusedCounter(t *testing.T) {
+	s := New(Options{})
+	v := make([]cnf.Lit, 7)
+	for i := range v {
+		v[i] = cnf.PosLit(s.NewVar())
+	}
+	s.AddClause(v[5], v[6])
+	as := []cnf.Lit{v[0], v[1], v[2], v[3]}
+	if s.Solve(as...) != Sat {
+		t.Fatalf("setup solve not Sat")
+	}
+	if got := s.Stats.AssumptionsReused; got != 0 {
+		t.Fatalf("first solve reused %d assumptions", got)
+	}
+	if s.Solve(as...) != Sat {
+		t.Fatalf("re-solve not Sat")
+	}
+	if got := s.Stats.AssumptionsReused; got != 4 {
+		t.Fatalf("identical re-solve reused %d of 4 assumption levels", got)
+	}
+	if s.Solve(v[0], v[1], v[2].Neg()) != Sat {
+		t.Fatalf("diverging solve not Sat")
+	}
+	if got := s.Stats.AssumptionsReused; got != 6 {
+		t.Fatalf("diverging solve reused %d total, want 6 (4+2)", got)
+	}
+	if got := s.Stats.AssumptionsGiven; got != 11 {
+		t.Fatalf("AssumptionsGiven=%d, want 11", got)
+	}
+}
+
+// TestClauseDBBytesMatchesWalk pins the O(1) incremental watch-capacity
+// accounting against a full walk of the watch lists, across solving,
+// clause addition under a retained trail, reduction and simplification.
+func TestClauseDBBytesMatchesWalk(t *testing.T) {
+	walk := func(s *Solver) int {
+		n := s.arena.bytes()
+		n += (len(s.binClauses) + len(s.binLearnts)) * 8
+		for _, ws := range s.watches {
+			n += cap(ws) * 8
+		}
+		for _, bs := range s.binWatches {
+			n += cap(bs) * 4
+		}
+		n += (len(s.watches) + len(s.binWatches)) * 24
+		return n
+	}
+	s := New(Options{})
+	g := cnf.PosLit(s.NewVar())
+	addGuardedPigeonhole(s, g, 6)
+	check := func(stage string) {
+		t.Helper()
+		if got, want := s.ClauseDBBytes(), walk(s); got != want {
+			t.Fatalf("%s: ClauseDBBytes=%d, walked=%d", stage, got, want)
+		}
+	}
+	check("after load")
+	if s.Solve(g) != Unsat {
+		t.Fatalf("PHP(6) not Unsat")
+	}
+	check("after solve")
+	s.AddClause(g.Neg(), cnf.PosLit(s.NewVar()))
+	check("after add under retained trail")
+	s.ReduceDB()
+	check("after ReduceDB")
+	s.AddClause(g.Neg())
+	s.Simplify()
+	check("after Simplify")
+}
+
+// TestSimplifyCollectsRetiredClauses is the activation-retirement story:
+// clauses guarded by a retired activation literal are satisfied at the
+// root, and Simplify must return their arena space while preserving
+// answers.
+func TestSimplifyCollectsRetiredClauses(t *testing.T) {
+	s := New(Options{})
+	g1 := cnf.PosLit(s.NewVar())
+	g2 := cnf.PosLit(s.NewVar())
+	addGuardedPigeonhole(s, g1, 5)
+	addGuardedPigeonhole(s, g2, 5)
+	if s.Solve(g1) != Unsat || s.Solve(g2) != Unsat {
+		t.Fatalf("guarded PHP not Unsat")
+	}
+	// Retire g1: its guarded clauses become root-satisfied garbage.
+	s.AddClause(g1.Neg())
+	clauses0 := s.NumClauses()
+	arena0 := s.ClauseDBBytes()
+	s.Simplify()
+	if s.NumClauses() >= clauses0 {
+		t.Fatalf("Simplify removed nothing: %d -> %d clauses", clauses0, s.NumClauses())
+	}
+	if s.ClauseDBBytes() >= arena0 {
+		t.Fatalf("Simplify did not shrink the database: %d -> %d bytes", arena0, s.ClauseDBBytes())
+	}
+	// The other guard still works, in both polarities.
+	if got := s.Solve(g2); got != Unsat {
+		t.Fatalf("g2 after simplify: %v, want Unsat", got)
+	}
+	if got := s.Solve(g2.Neg()); got != Sat {
+		t.Fatalf("g2 off after simplify: %v, want Sat", got)
+	}
+	// Binary clauses behind a retired guard are swept too (they live
+	// outside the arena, in the inline binary watch lists).
+	g3 := cnf.PosLit(s.NewVar())
+	x := cnf.PosLit(s.NewVar())
+	s.AddClause(g3.Neg(), x)
+	nbin := len(s.binClauses)
+	s.AddClause(g3.Neg())
+	s.Simplify()
+	if len(s.binClauses) != nbin-1 {
+		t.Fatalf("retired binary clause not swept: %d -> %d", nbin, len(s.binClauses))
+	}
+	if got := s.Solve(x.Neg()); got != Sat {
+		t.Fatalf("x unconstrained after binary sweep: %v, want Sat", got)
+	}
+}

@@ -19,6 +19,13 @@ func (s *Solver) canceled() bool { return s.opts.Cancel.Canceled() }
 // from Options was exhausted. After Sat, Model holds a satisfying
 // assignment; after Unsat under assumptions, FailedAssumptions holds a
 // conflicting subset.
+//
+// Unless Options.DisableTrailReuse is set, the trail survives between
+// calls: Solve backtracks only to the longest prefix the new assumption
+// vector shares with the previous one (decision level i+1 is always
+// assumption i's level, decided or dummy), so an incremental client
+// re-querying under a fixed prefix re-propagates nothing for the
+// unchanged part. Stats.AssumptionsReused counts the levels kept.
 func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	if !s.ok {
 		s.conflict = nil
@@ -27,9 +34,19 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	if s.canceled() {
 		return Unknown
 	}
+	keep := 0
+	if !s.opts.DisableTrailReuse {
+		for keep < len(assumptions) && keep < len(s.assumptions) &&
+			keep < s.decisionLevel() && assumptions[keep] == s.assumptions[keep] {
+			keep++
+		}
+	}
+	s.cancelUntil(keep)
+	s.Stats.AssumptionsGiven += int64(len(assumptions))
+	s.Stats.AssumptionsReused += int64(keep)
 	s.assumptions = append(s.assumptions[:0], assumptions...)
 	s.conflict = nil
-	s.model = nil
+	s.model = s.model[:0]
 	s.lubyIndex = 0
 	s.conflictsCur = 0
 
@@ -45,7 +62,9 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	deadlineCheck := int64(0)
 	decisionCheck := int64(0)
 
-	defer s.cancelUntil(0)
+	// No cancelUntil(0) on exit: the trail is left in place for the next
+	// call's prefix reuse (the next Solve backtracks exactly as far as
+	// its own assumptions require).
 
 	for {
 		confl := s.propagate()
@@ -83,7 +102,11 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			s.lubyIndex++
 			s.conflictsCur = 0
 			s.Stats.Restarts++
-			s.cancelUntil(0)
+			// Restart to the assumption level, not to 0: the assumption
+			// prefix and its propagations are sound in every restart and
+			// re-deciding them is pure waste (a no-op when the conflict
+			// already backjumped below the assumptions).
+			s.cancelUntil(len(s.assumptions))
 			if s.canceled() || s.deadlineExpired() {
 				return Unknown
 			}
@@ -112,9 +135,10 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		if next == cnf.NoLit {
 			next = s.pickBranchLit()
 			if next == cnf.NoLit {
-				// All variables assigned: a model.
-				s.model = make(cnf.Assignment, len(s.assigns))
-				copy(s.model, s.assigns)
+				// All variables assigned: a model, snapshotted into the
+				// reusable buffer — one Sat query per successor is jSAT's
+				// steady state, so this must not allocate per call.
+				s.model = append(s.model[:0], s.assigns...)
 				return Sat
 			}
 			s.Stats.Decisions++
@@ -235,7 +259,7 @@ func (s *Solver) propagate() ClauseRef {
 			for k := 2; k < len(lits); k++ {
 				if vals[lits[k]] != cnf.False {
 					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{w.ref, first})
+					s.pushWatch(lits[1].Neg(), watcher{w.ref, first})
 					continue watchLoop
 				}
 			}

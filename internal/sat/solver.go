@@ -73,6 +73,16 @@ type Options struct {
 	// conflicts of losing instead of running to completion.
 	Cancel *cancel.Flag
 
+	// DisableTrailReuse makes every Solve call restart from decision
+	// level 0, as classical MiniSat does. By default the solver keeps
+	// its trail between calls and, when a new assumption vector shares
+	// a prefix with the previous one, backtracks only to the first
+	// mismatch — incremental clients that enumerate under a fixed
+	// prefix (jSAT's successor enumeration) then re-propagate nothing
+	// for the unchanged part. The switch exists for the reuse
+	// differential tests and ablations.
+	DisableTrailReuse bool
+
 	// DisableVSIDS branches on the lowest-indexed unassigned variable
 	// instead of activity order.
 	DisableVSIDS bool
@@ -93,6 +103,13 @@ type Stats struct {
 	Learned      int64
 	Removed      int64
 	MaxLearnts   int64 // high-water mark of the learnt database
+	// AssumptionsGiven counts assumption literals passed to Solve;
+	// AssumptionsReused counts those whose decision level survived from
+	// the previous call via trail reuse (never re-decided, never
+	// re-propagated). Their ratio is the trail-reuse rate the E10
+	// experiment reports.
+	AssumptionsGiven  int64
+	AssumptionsReused int64
 }
 
 // watcher is one entry of a ≥3-literal watch list.
@@ -121,6 +138,12 @@ type Solver struct {
 
 	watches    [][]watcher // indexed by literal: ≥3-literal clauses
 	binWatches [][]cnf.Lit // indexed by literal: other literal per binary clause
+
+	// watchCapBytes is the summed capacity of all inner watch lists, in
+	// bytes, maintained at every growing append so ClauseDBBytes is O(1)
+	// instead of a walk over every list — incremental clients (jSAT)
+	// sample it once per query.
+	watchCapBytes int
 
 	assigns  []cnf.Value // per variable
 	vals     []cnf.Value // per literal: vals[l] is l's truth value
@@ -224,16 +247,13 @@ func (s *Solver) Okay() bool { return s.ok }
 // noise. Between garbage collections the slab holds no dead space, so
 // the arena term equals the analytic clause-storage size (one header
 // word per clause, plus activity and LBD words for learnts, plus one
-// word per literal).
+// word per literal). The watch-list term is maintained incrementally at
+// every growing append, so the whole call is O(1) — cheap enough for
+// per-query peak sampling.
 func (s *Solver) ClauseDBBytes() int {
 	n := s.arena.bytes()
 	n += (len(s.binClauses) + len(s.binLearnts)) * 8
-	for _, ws := range s.watches {
-		n += cap(ws) * 8
-	}
-	for _, bs := range s.binWatches {
-		n += cap(bs) * 4
-	}
+	n += s.watchCapBytes
 	n += (len(s.watches) + len(s.binWatches)) * 24 // slice headers
 	return n
 }
@@ -247,10 +267,15 @@ func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 // AddClause adds a clause at the top level. It returns false when the
 // clause set has become trivially unsatisfiable. Literals over variables
 // not yet created are rejected with a panic (a programming error).
+//
+// The clause may be added while a trail from a previous Solve call is
+// retained (trail reuse): only root-level assignments simplify the
+// clause away, and when the new clause is unit or falsified under the
+// retained partial assignment the solver backtracks just far enough to
+// attach it with a sound watch pair, enqueueing the implication if one
+// remains — the incremental client keeps its reusable prefix instead of
+// being thrown back to level 0.
 func (s *Solver) AddClause(lits ...cnf.Lit) bool {
-	if s.decisionLevel() != 0 {
-		panic("sat: AddClause called during search")
-	}
 	if !s.ok {
 		return false
 	}
@@ -275,8 +300,11 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		buf[j+1] = x
 	}
 	// One sweep over the sorted literals: drop duplicates, detect
-	// tautologies (a literal next to its own negation), drop literals
-	// already false at level 0, and drop the clause when one is true.
+	// tautologies (a literal next to its own negation), and apply
+	// root-level assignments — drop literals permanently false, drop
+	// the clause when one is permanently true. Assignments above level
+	// 0 belong to the retained trail and are NOT permanent: those
+	// literals stay in the clause.
 	out := buf[:0]
 	prev := cnf.NoLit // literal 0 never occurs in a valid clause
 	for _, l := range buf {
@@ -287,10 +315,12 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 			return true
 		}
 		prev = l
-		switch s.value(l) {
-		case cnf.True:
+		switch v := s.value(l); {
+		case v == cnf.True && s.level[l.Var()] == 0:
 			return true
-		case cnf.Undef:
+		case v == cnf.False && s.level[l.Var()] == 0:
+			// dropped
+		default:
 			out = append(out, l)
 		}
 	}
@@ -299,23 +329,122 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		s.ok = false
 		return false
 	case 1:
+		// A unit is a root-level fact: it must be asserted at level 0,
+		// whatever trail is currently retained.
+		s.cancelUntil(0)
+		switch s.value(out[0]) {
+		case cnf.True:
+			return true
+		case cnf.False:
+			s.ok = false
+			return false
+		}
 		s.uncheckedEnqueue(out[0], crefUndef)
 		s.ok = s.propagate() == crefUndef
 		return s.ok
-	case 2:
+	}
+
+	// With a retained trail the clause may be falsified by non-permanent
+	// assignments. Back off one level below the deepest falsification
+	// until at least one literal is free again — the minimal repair, so
+	// jSAT's blocking clause (falsified by the very model it blocks)
+	// costs a backjump to the deepest input decision, not a level-0
+	// restart.
+	for {
+		nonFalse, maxLvl := 0, 0
+		for _, l := range out {
+			if s.value(l) == cnf.False {
+				if lvl := int(s.level[l.Var()]); lvl > maxLvl {
+					maxLvl = lvl
+				}
+			} else {
+				nonFalse++
+			}
+		}
+		if nonFalse > 0 {
+			break
+		}
+		s.cancelUntil(maxLvl - 1)
+	}
+	// Watch order: a non-false literal first, then the best second watch
+	// — another non-false literal if one exists, else the deepest false
+	// one (so any backtrack that could make the clause propagate again
+	// unassigns a watch and restores the classical invariant).
+	for i, l := range out {
+		if s.value(l) != cnf.False {
+			out[0], out[i] = out[i], out[0]
+			break
+		}
+	}
+	rank := func(l cnf.Lit) int {
+		if s.value(l) != cnf.False {
+			return int(^uint(0) >> 1)
+		}
+		return int(s.level[l.Var()])
+	}
+	best := 1
+	for i := 2; i < len(out); i++ {
+		if rank(out[i]) > rank(out[best]) {
+			best = i
+		}
+	}
+	out[1], out[best] = out[best], out[1]
+
+	// Unit under the retained trail: enqueue the implication with the
+	// new clause as its reason (at the current level — chronological
+	// style; the reason is valid because every other literal is false).
+	implied := cnf.NoLit
+	if s.value(out[0]) == cnf.Undef && s.value(out[1]) == cnf.False {
+		implied = out[0]
+	}
+	if len(out) == 2 {
 		s.addBinary(out[0], out[1], false)
+		if implied != cnf.NoLit {
+			s.uncheckedEnqueue(implied, binReason(out[1]))
+		}
 		return true
 	}
 	ref := s.arena.alloc(out, false)
 	s.clauses = append(s.clauses, ref)
 	s.attach(ref)
+	if implied != cnf.NoLit {
+		s.uncheckedEnqueue(implied, ref)
+	}
 	return true
+}
+
+// pushWatch appends to a ≥3-literal watch list, keeping watchCapBytes
+// current when the append grows the backing array.
+func (s *Solver) pushWatch(li cnf.Lit, w watcher) {
+	ws := s.watches[li]
+	if len(ws) == cap(ws) {
+		s.watchCapBytes -= cap(ws) * 8
+		ws = append(ws, w)
+		s.watchCapBytes += cap(ws) * 8
+	} else {
+		ws = append(ws, w)
+	}
+	s.watches[li] = ws
+}
+
+// pushBinWatch appends to a binary watch list, keeping watchCapBytes
+// current when the append grows the backing array.
+func (s *Solver) pushBinWatch(li cnf.Lit, other cnf.Lit) {
+	bs := s.binWatches[li]
+	if len(bs) == cap(bs) {
+		s.watchCapBytes -= cap(bs) * 4
+		bs = append(bs, other)
+		s.watchCapBytes += cap(bs) * 4
+	} else {
+		bs = append(bs, other)
+	}
+	s.binWatches[li] = bs
 }
 
 // addBinary inlines a two-literal clause into the binary watch lists.
 func (s *Solver) addBinary(a, b cnf.Lit, learnt bool) {
-	s.binWatches[a.Neg()] = append(s.binWatches[a.Neg()], b)
-	s.binWatches[b.Neg()] = append(s.binWatches[b.Neg()], a)
+	s.pushBinWatch(a.Neg(), b)
+	s.pushBinWatch(b.Neg(), a)
 	if learnt {
 		s.binLearnts = append(s.binLearnts, [2]cnf.Lit{a, b})
 	} else {
@@ -325,8 +454,8 @@ func (s *Solver) addBinary(a, b cnf.Lit, learnt bool) {
 
 func (s *Solver) attach(c ClauseRef) {
 	lits := s.arena.lits(c)
-	s.watches[lits[0].Neg()] = append(s.watches[lits[0].Neg()], watcher{c, lits[1]})
-	s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{c, lits[0]})
+	s.pushWatch(lits[0].Neg(), watcher{c, lits[1]})
+	s.pushWatch(lits[1].Neg(), watcher{c, lits[0]})
 }
 
 func (s *Solver) uncheckedEnqueue(l cnf.Lit, from ClauseRef) {
@@ -384,6 +513,8 @@ func (s *Solver) LitValue(l cnf.Lit) cnf.Value {
 }
 
 // Model returns the satisfying assignment found by the last Sat solve.
+// The assignment shares the solver's reusable snapshot buffer: it is
+// valid until the next Solve call, which overwrites it.
 func (s *Solver) Model() cnf.Assignment { return s.model }
 
 // FailedAssumptions returns, after an Unsat result under assumptions, a

@@ -98,17 +98,44 @@ func TestPropagationBudget(t *testing.T) {
 	}
 }
 
-func TestAddClauseDuringSearchPanics(t *testing.T) {
+// TestAddClauseUnderRetainedTrail replaces the old "AddClause during
+// search panics" contract: with trail reuse, adding clauses between
+// Solve calls while decision levels are retained is the normal
+// incremental pattern. A unit must be asserted at the root level
+// (dropping the retained levels); a clause falsified by the retained
+// assignment must trigger just enough backtracking to stay sound.
+func TestAddClauseUnderRetainedTrail(t *testing.T) {
 	s := New(Options{})
-	v := mkVars(s, 2)
+	v := mkVars(s, 4)
 	s.AddClause(cnf.PosLit(v[1]), cnf.PosLit(v[2]))
-	s.newDecisionLevel()
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("expected panic")
-		}
-	}()
-	s.AddClause(cnf.NegLit(v[1]))
+	if s.Solve(cnf.PosLit(v[3]), cnf.PosLit(v[4])) != Sat {
+		t.Fatalf("setup solve not Sat")
+	}
+	if s.decisionLevel() == 0 {
+		t.Fatalf("trail not retained after Solve")
+	}
+	// Unit clause: asserted at root, trail dropped to level 0.
+	if !s.AddClause(cnf.NegLit(v[1])) {
+		t.Fatalf("unit addition reported unsat")
+	}
+	if s.decisionLevel() != 0 {
+		t.Fatalf("unit addition left decision level %d", s.decisionLevel())
+	}
+	if s.Solve() != Sat || s.Value(v[1]) != cnf.False || s.Value(v[2]) != cnf.True {
+		t.Fatalf("unit not enforced: v1=%v v2=%v", s.Value(v[1]), s.Value(v[2]))
+	}
+	// Clause contradicting the retained assumptions: next solve under the
+	// same assumptions must now be Unsat.
+	if s.Solve(cnf.PosLit(v[3]), cnf.PosLit(v[4])) != Sat {
+		t.Fatalf("re-solve not Sat")
+	}
+	s.AddClause(cnf.NegLit(v[3]), cnf.NegLit(v[4]))
+	if got := s.Solve(cnf.PosLit(v[3]), cnf.PosLit(v[4])); got != Unsat {
+		t.Fatalf("contradicted assumptions: got %v, want Unsat", got)
+	}
+	if got := s.Solve(cnf.PosLit(v[3])); got != Sat || s.Value(v[4]) != cnf.False {
+		t.Fatalf("v3 alone: got %v, v4=%v", got, s.Value(v[4]))
+	}
 }
 
 func TestAddClauseUnknownVarPanics(t *testing.T) {

@@ -1,0 +1,7 @@
+//go:build race
+
+package sebmc_test
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// assertions are skipped under it.
+const raceEnabled = true
