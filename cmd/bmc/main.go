@@ -15,6 +15,13 @@
 // CPU), results printed in input order. -engine portfolio races the
 // complementary engines per query — first decisive answer wins, losers
 // are cancelled — and reports which engine decided each instance.
+//
+// Exit codes are uniform across the single, batch, deepen, and prove
+// paths: 0 when the property holds at the asked bound (UNREACHABLE /
+// Proved), 1 when a counterexample was found (REACHABLE / Falsified),
+// 2 on error or an inconclusive run (bad input, UNKNOWN from a timeout
+// or budget). A batch exits with its worst item: any error wins over
+// any counterexample, which wins over all-safe.
 package main
 
 import (
@@ -85,30 +92,55 @@ func main() {
 		if pr.Status == sebmc.Falsified && *witness && pr.Witness != nil {
 			fmt.Print(pr.Witness)
 		}
-		if pr.Status == sebmc.ProofUnknown {
+		switch pr.Status {
+		case sebmc.Proved:
+			os.Exit(0)
+		case sebmc.Falsified:
 			os.Exit(1)
 		}
-		return
+		os.Exit(2)
 	}
 	if *deepen {
 		d := sebmc.Deepen(sys, *k, engine, opts)
 		printDeepen(sys.Name, d, time.Since(start), *witness)
-		if d.Status == sebmc.Unknown {
-			os.Exit(1)
-		}
-		return
+		os.Exit(exitCode(d.Status))
 	}
 
 	r := sebmc.Check(sys, *k, engine, opts)
 	printCheck(sys.Name, *k, engine, *semStr, r, time.Since(start), *witness, *stats)
-	if r.Status == sebmc.Unknown {
-		os.Exit(1)
+	os.Exit(exitCode(r.Status))
+}
+
+// exitCode maps a verdict to the uniform CLI contract: 0 safe, 1
+// counterexample, 2 error/inconclusive.
+func exitCode(st sebmc.Status) int {
+	switch st {
+	case sebmc.Unreachable:
+		return 0
+	case sebmc.Reachable:
+		return 1
 	}
+	return 2
+}
+
+// worseCode combines per-item exit codes for a batch: error (2)
+// dominates counterexample (1) dominates safe (0).
+func worseCode(a, b int) int {
+	if a == 2 || b == 2 {
+		return 2
+	}
+	if a == 1 || b == 1 {
+		return 1
+	}
+	return 0
 }
 
 // runBatch checks (or deepens) every model on a bounded worker pool and
-// prints the results in input order. The exit code is 1 when any check
-// came back Unknown, 2 on a load error.
+// prints the results in input order. The exit code follows the same
+// uniform contract as the single-model path — 0 all safe, 1 some
+// counterexample, 2 some error/UNKNOWN — combining items worst-first,
+// so `bmc -deepen a.msl b.msl` scripts exactly like a loop of single
+// runs would.
 func runBatch(paths []string, k int, engine sebmc.Engine, opts sebmc.Options, workers int, deepen, witness, stats bool) int {
 	jobs := make([]sebmc.Job, len(paths))
 	for i, p := range paths {
@@ -123,16 +155,12 @@ func runBatch(paths []string, k int, engine sebmc.Engine, opts sebmc.Options, wo
 	if deepen {
 		for i, d := range sebmc.DeepenMany(jobs, workers) {
 			printDeepen(jobs[i].Sys.Name, d, 0, witness)
-			if d.Status == sebmc.Unknown {
-				exit = 1
-			}
+			exit = worseCode(exit, exitCode(d.Status))
 		}
 	} else {
 		for i, r := range sebmc.CheckMany(jobs, workers) {
 			printCheck(jobs[i].Sys.Name, k, engine, "", r, 0, witness, stats)
-			if r.Status == sebmc.Unknown {
-				exit = 1
-			}
+			exit = worseCode(exit, exitCode(r.Status))
 		}
 	}
 	fmt.Printf("batch: %d models in %v\n", len(jobs), time.Since(start).Round(time.Millisecond))

@@ -3,6 +3,7 @@ package bmc
 import (
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/cnf"
 	"repro/internal/model"
 	"repro/internal/sat"
@@ -75,6 +76,21 @@ func NewIncrementalUnroller(sys *model.System, opts IncrementalOptions) *Increme
 // System returns the system actually encoded (post-transform under
 // AtMost semantics). Witnesses validate against it.
 func (u *IncrementalUnroller) System() *model.System { return u.sys }
+
+// SetCancel replaces the persistent solver's cooperative cancellation
+// flag. Flags are one-shot; a long-lived unroller serving many requests
+// hands each request its own flag so that cancelling one does not
+// poison the solver for the next. A nil flag removes the signal.
+func (u *IncrementalUnroller) SetCancel(c *cancel.Flag) { u.s.SetCancel(c) }
+
+// SetDeadline replaces the whole-run deadline: the persistent solver
+// aborts with Unknown once it passes, and a configured QueryTimeout is
+// clipped to it. A long-lived unroller serving many requests re-arms it
+// per request; a zero time removes the deadline.
+func (u *IncrementalUnroller) SetDeadline(t time.Time) {
+	u.runDeadline = t
+	u.s.SetDeadline(t)
+}
 
 // Stats returns the cumulative counters of the run so far.
 func (u *IncrementalUnroller) Stats() IncrStats { return u.stats }

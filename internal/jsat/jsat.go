@@ -170,6 +170,18 @@ func (s *Solver) SetDeadline(t time.Time) {
 	s.init.SetDeadline(t)
 }
 
+// SetCancel replaces the cooperative cancellation flag of the search
+// and of both underlying solvers. Flags are one-shot, so a client that
+// keeps one jSAT instance alive across many requests hands each request
+// its own flag; a cancelled request then aborts with Unknown without
+// poisoning the instance for the next one. A nil flag removes the
+// signal.
+func (s *Solver) SetCancel(c *cancel.Flag) {
+	s.opts.Cancel = c
+	s.step.SetCancel(c)
+	s.init.SetCancel(c)
+}
+
 // System returns the system actually searched (post-transform).
 func (s *Solver) System() *model.System { return s.sys }
 

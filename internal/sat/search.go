@@ -31,7 +31,10 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		s.conflict = nil
 		return Unsat
 	}
-	if s.canceled() {
+	if s.canceled() || s.deadlineExpired() {
+		// Immediate poll, mirroring the QBF solver: a deadline that
+		// expired before the call (or between incremental calls) must
+		// not let even a propagation-only query slip through.
 		return Unknown
 	}
 	keep := 0

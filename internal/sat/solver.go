@@ -227,6 +227,13 @@ func (s *Solver) NewVar() cnf.Var {
 // timeout. A zero time removes the deadline.
 func (s *Solver) SetDeadline(t time.Time) { s.opts.Deadline = t }
 
+// SetCancel replaces the cooperative cancellation flag, letting
+// long-lived incremental clients (one persistent solver serving many
+// requests) hand each request its own flag: a flag is one-shot, so a
+// cancelled request must not poison the solver for the next one. A nil
+// flag removes the signal.
+func (s *Solver) SetCancel(c *cancel.Flag) { s.opts.Cancel = c }
+
 // NumVars returns the number of variables created.
 func (s *Solver) NumVars() int { return len(s.assigns) - 1 }
 

@@ -1,0 +1,156 @@
+package service
+
+// The verdict cache: finished answers keyed by what was asked — model
+// content hash, bound, semantics, engine, deepen, CNF mode — behind an
+// LRU byte budget. Bytes are accounted the same honest way as the
+// solvers' ClauseDBBytes/MemBytes: every retained allocation is
+// counted (key strings, witness text, entry struct, list and map
+// bookkeeping), so the configured budget is a real bound on resident
+// verdict memory, not an entry count with a guessed multiplier.
+
+import (
+	"container/list"
+	"sync"
+
+	sebmc "repro"
+)
+
+// verdictKey identifies one answerable question.
+type verdictKey struct {
+	Hash   string
+	Bound  int
+	Engine sebmc.Engine
+	Sem    sebmc.Semantics
+	Deepen bool
+	PG     bool
+}
+
+// verdict is one cached answer. Only decided (non-UNKNOWN) results are
+// cached; UNKNOWN depends on the request's budget, not the question.
+type verdict struct {
+	Status           string
+	FoundAt          int
+	DecidedBy        string
+	Witness          string
+	WitnessValidated bool
+	Iterations       int
+	Conflicts        int64
+	PeakBytes        int
+	Bound            int
+}
+
+func newVerdict(res *JobResult) verdict {
+	return verdict{
+		Status:           res.Status,
+		FoundAt:          res.FoundAt,
+		DecidedBy:        res.DecidedBy,
+		Witness:          res.Witness,
+		WitnessValidated: res.WitnessValidated,
+		Iterations:       res.Iterations,
+		Conflicts:        res.Conflicts,
+		PeakBytes:        res.PeakBytes,
+		Bound:            res.Bound,
+	}
+}
+
+// result materializes a JobResult from the cached verdict.
+func (v verdict) result() *JobResult {
+	return &JobResult{
+		Status:           v.Status,
+		Bound:            v.Bound,
+		FoundAt:          v.FoundAt,
+		DecidedBy:        v.DecidedBy,
+		Witness:          v.Witness,
+		WitnessValidated: v.WitnessValidated,
+		Iterations:       v.Iterations,
+		Conflicts:        v.Conflicts,
+		PeakBytes:        v.PeakBytes,
+	}
+}
+
+// entryOverhead is the fixed per-entry cost beyond the variable-length
+// strings: the cacheEntry struct (key copy + verdict scalars + string
+// headers), the list.Element, and an amortized map bucket slot.
+const entryOverhead = 256
+
+// bytes is the honest retained size of one entry.
+func entryBytes(k verdictKey, v verdict) int {
+	return entryOverhead + len(k.Hash) + len(v.Witness) + len(v.DecidedBy) + len(v.Status)
+}
+
+type cacheEntry struct {
+	key verdictKey
+	v   verdict
+	sz  int
+}
+
+// verdictCache is a mutex-guarded LRU over a byte budget. budget < 0
+// disables it entirely.
+type verdictCache struct {
+	mu      sync.Mutex
+	budget  int
+	bytes   int
+	ll      *list.List // front = most recently used
+	entries map[verdictKey]*list.Element
+}
+
+func newVerdictCache(budget int) *verdictCache {
+	return &verdictCache{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[verdictKey]*list.Element),
+	}
+}
+
+func (c *verdictCache) get(k verdictKey) (verdict, bool) {
+	if c.budget < 0 {
+		return verdict{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return verdict{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+func (c *verdictCache) put(k verdictKey, v verdict) {
+	if c.budget < 0 {
+		return
+	}
+	sz := entryBytes(k, v)
+	if sz > c.budget {
+		return // a single oversized verdict would evict everything
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += sz - e.sz
+		e.v, e.sz = v, sz
+		c.ll.MoveToFront(el)
+	} else {
+		e := &cacheEntry{key: k, v: v, sz: sz}
+		c.entries[k] = c.ll.PushFront(e)
+		c.bytes += sz
+	}
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= e.sz
+	}
+}
+
+// stats returns (entries, bytes, budget).
+func (c *verdictCache) stats() (int, int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes, c.budget
+}

@@ -1,0 +1,229 @@
+package service
+
+// The HTTP face of bmcd. All endpoints speak JSON:
+//
+//	POST   /v1/check        submit one job; {"wait":true} blocks for the
+//	                        result and cancels the job if the client
+//	                        disconnects. 202 + job id otherwise.
+//	POST   /v1/batch        submit several models at once; synchronous.
+//	                        Cached items answer immediately, the rest
+//	                        fan over CheckMany/DeepenMany.
+//	GET    /v1/jobs/{id}    job status (result embedded once done)
+//	GET    /v1/results/{id} result only; 202 while still running
+//	DELETE /v1/jobs/{id}    cooperative cancel
+//	GET    /metrics         MetricsSnapshot JSON
+//	GET    /healthz         200 ok / 503 draining
+//
+// Submissions during a drain get 503 with Retry-After, which is what a
+// load balancer in front of a rolling restart wants to see.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	sebmc "repro"
+)
+
+const maxBodyBytes = 16 << 20
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func submitCode(err error) int {
+	if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request: %w", err))
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		req.Wait = true
+	}
+	j, err := s.submit(req)
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+	// Synchronous mode: the client going away cancels the job — the
+	// worker observes the flag within a few conflicts and publishes an
+	// UNKNOWN result, so the queue never clogs with abandoned work.
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		j.cancel.Set()
+		<-j.done
+		return // client is gone; nothing to write
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// BatchRequest submits several checks at once.
+type BatchRequest struct {
+	Jobs []CheckRequest `json:"jobs"`
+}
+
+// BatchResponse carries one result per submitted job, in order.
+type BatchResponse struct {
+	Results []*JobResult `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request: %w", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: empty batch"))
+		return
+	}
+	items := make([]*job, len(req.Jobs))
+	parent := newBatchCancel(r)
+	for i, jr := range req.Jobs {
+		if jr.Deepen != req.Jobs[0].Deepen {
+			writeError(w, http.StatusBadRequest, errors.New("service: batch mixes deepen and plain checks; split it"))
+			return
+		}
+		j, err := s.newJob(jr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch job %d: %w", i, err))
+			return
+		}
+		j.cancel = parent
+		items[i] = j
+	}
+	// Batch items run on the library's own work-stealing pool rather
+	// than queue slots, but they are admitted against the same bound:
+	// queued singles plus in-flight batch items must fit the queue
+	// capacity, so a flood of batch posts gets 503 exactly like a
+	// flood of singles would — admitted work is never unbounded. (A
+	// single batch larger than the queue capacity is therefore always
+	// rejected; split it.)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(int64(len(items)))
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	if len(s.queue)+s.batchJobs+len(items) > s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(int64(len(items)))
+		writeError(w, http.StatusServiceUnavailable, ErrQueueFull)
+		return
+	}
+	s.batchJobs += len(items)
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.batchJobs -= len(items)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	s.metrics.submitted.Add(int64(len(items)))
+	writeJSON(w, http.StatusOK, BatchResponse{Results: s.runBatch(items)})
+}
+
+// newBatchCancel returns a flag that is set when the request's client
+// disconnects (the request context also ends when the handler returns,
+// so the watcher never outlives the batch by more than a moment).
+func newBatchCancel(r *http.Request) *sebmc.CancelFlag {
+	parent := sebmc.NewCancelFlag()
+	go func() {
+		<-r.Context().Done()
+		parent.Set()
+	}()
+	return parent
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		return
+	}
+	if res := j.Result(); res != nil {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		return
+	}
+	j.cancel.Set()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+type healthBody struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthBody{Status: "ok"})
+}

@@ -1,0 +1,132 @@
+package service
+
+// Service observability: cheap atomic counters updated on the hot path,
+// snapshotted into one JSON document by GET /metrics. The quantities
+// are the ones that tell an operator whether the warm machinery is
+// actually paying off: queue depth against capacity, verdict-cache and
+// session hit rates, which engine wins how often (DecidedBy), and the
+// peak solver footprint observed — the same honestly-accounted bytes
+// the E3 experiments track.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type metrics struct {
+	start time.Time
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+	timedOut  atomic.Int64
+
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	sessionHits   atomic.Int64
+	sessionMisses atomic.Int64
+
+	peakSolverBytes atomic.Int64
+
+	mu        sync.Mutex
+	decidedBy map[string]int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), decidedBy: make(map[string]int64)}
+}
+
+func (m *metrics) noteDecided(engine string) {
+	if engine == "" {
+		return
+	}
+	m.mu.Lock()
+	m.decidedBy[engine]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) notePeakBytes(b int64) {
+	for {
+		cur := m.peakSolverBytes.Load()
+		if b <= cur || m.peakSolverBytes.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
+
+// MetricsSnapshot is the GET /metrics document.
+type MetricsSnapshot struct {
+	UptimeMS int64 `json:"uptime_ms"`
+	Draining bool  `json:"draining"`
+	Workers  int   `json:"workers"`
+
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	Submitted int64 `json:"jobs_submitted"`
+	Completed int64 `json:"jobs_completed"`
+	Rejected  int64 `json:"jobs_rejected"`
+	// Cancelled counts jobs stopped by a client (DELETE or disconnect);
+	// TimedOut counts jobs stopped by their own timeout_ms budget.
+	Cancelled int64 `json:"jobs_cancelled"`
+	TimedOut  int64 `json:"jobs_timed_out"`
+
+	Cache struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+		Entries int     `json:"entries"`
+		Bytes   int     `json:"bytes"`
+		Budget  int     `json:"budget_bytes"`
+	} `json:"verdict_cache"`
+
+	Sessions struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+		Live   int   `json:"live"`
+		Bytes  int   `json:"bytes"`
+		Budget int   `json:"budget_bytes"`
+	} `json:"sessions"`
+
+	DecidedBy       map[string]int64 `json:"decided_by"`
+	PeakSolverBytes int64            `json:"peak_solver_bytes"`
+}
+
+// Metrics snapshots the server's counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	m := s.metrics
+	var out MetricsSnapshot
+	out.UptimeMS = time.Since(m.start).Milliseconds()
+	out.Draining = s.Draining()
+	out.Workers = s.cfg.Workers
+	out.QueueDepth = len(s.queue)
+	out.QueueCapacity = s.cfg.QueueDepth
+
+	out.Submitted = m.submitted.Load()
+	out.Completed = m.completed.Load()
+	out.Rejected = m.rejected.Load()
+	out.Cancelled = m.cancelled.Load()
+	out.TimedOut = m.timedOut.Load()
+
+	out.Cache.Hits = m.cacheHits.Load()
+	out.Cache.Misses = m.cacheMisses.Load()
+	if total := out.Cache.Hits + out.Cache.Misses; total > 0 {
+		out.Cache.HitRate = float64(out.Cache.Hits) / float64(total)
+	}
+	out.Cache.Entries, out.Cache.Bytes, out.Cache.Budget = s.cache.stats()
+
+	out.Sessions.Hits = m.sessionHits.Load()
+	out.Sessions.Misses = m.sessionMisses.Load()
+	out.Sessions.Live, out.Sessions.Bytes, out.Sessions.Budget = s.sessions.stats()
+
+	out.DecidedBy = make(map[string]int64)
+	m.mu.Lock()
+	for k, v := range m.decidedBy {
+		out.DecidedBy[k] = v
+	}
+	m.mu.Unlock()
+	out.PeakSolverBytes = m.peakSolverBytes.Load()
+	return out
+}

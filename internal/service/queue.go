@@ -1,0 +1,238 @@
+package service
+
+// The job lifecycle: queued -> running -> done, with cancellation
+// riding a one-shot sebmc.CancelFlag that timeout, client disconnect
+// and DELETE all share. Jobs are the unit the bounded queue holds and
+// the worker pool executes; CheckRequest/JobResult are the JSON wire
+// types.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sebmc "repro"
+)
+
+// JobState is the lifecycle phase of a submitted job.
+type JobState string
+
+// Job lifecycle phases.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+)
+
+// CheckRequest is one checking request as submitted over HTTP.
+type CheckRequest struct {
+	// Model is the model source text, inline.
+	Model string `json:"model"`
+	// Format is "msl" or "aag"; empty auto-detects ("aag " header).
+	Format string `json:"format,omitempty"`
+	// Bound is the bound k (the maximum bound when Deepen is set).
+	Bound int `json:"bound"`
+	// Engine names the decision engine ("" = server default).
+	Engine string `json:"engine,omitempty"`
+	// Semantics is "exact" (default) or "atmost".
+	Semantics string `json:"semantics,omitempty"`
+	// Deepen searches bounds 0..Bound for the shortest counterexample.
+	Deepen bool `json:"deepen,omitempty"`
+	// TimeoutMS aborts the job (status UNKNOWN) after this many
+	// milliseconds of solving.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Witness includes the counterexample trace in the result.
+	Witness bool `json:"witness,omitempty"`
+	// PlaistedGreenbaum selects the polarity-aware CNF transformation.
+	PlaistedGreenbaum bool `json:"pg,omitempty"`
+	// Wait makes the submission synchronous: the response carries the
+	// result, and closing the connection cancels the job.
+	Wait bool `json:"wait,omitempty"`
+}
+
+func (r CheckRequest) timeout() time.Duration {
+	if r.TimeoutMS <= 0 {
+		return 0
+	}
+	return time.Duration(r.TimeoutMS) * time.Millisecond
+}
+
+// JobResult is the outcome of one job as served over HTTP.
+type JobResult struct {
+	Status    string `json:"status"` // REACHABLE | UNREACHABLE | UNKNOWN
+	Bound     int    `json:"bound"`
+	FoundAt   int    `json:"found_at"` // deepen: bound of the cex (-1 none)
+	DecidedBy string `json:"decided_by,omitempty"`
+	// Cached: served from the verdict cache, no solver ran.
+	Cached bool `json:"cached"`
+	// SessionHit: answered on a pre-existing warm session.
+	SessionHit bool `json:"session_hit"`
+	// WitnessValidated: the trace was replayed against the transition
+	// system step by step before being served.
+	WitnessValidated bool   `json:"witness_validated"`
+	Witness          string `json:"witness,omitempty"`
+	Iterations       int    `json:"iterations,omitempty"` // deepen: bounds tried this run
+	Conflicts        int64  `json:"conflicts,omitempty"`
+	PeakBytes        int    `json:"peak_bytes,omitempty"`
+	ElapsedMS        int64  `json:"elapsed_ms"`
+	Error            string `json:"error,omitempty"`
+}
+
+// job is one queue entry.
+type job struct {
+	id     string
+	req    CheckRequest
+	sys    *sebmc.System
+	hash   string
+	engine sebmc.Engine
+	sem    sebmc.Semantics
+	cancel *sebmc.CancelFlag
+	// timedOut records that the cancel flag was set by the job's own
+	// TimeoutMS budget, not by a client: /metrics reports the two
+	// separately (a timeout spike and an abandonment spike mean very
+	// different things to an operator).
+	timedOut atomic.Bool
+	done     chan struct{} // closed when result is set
+
+	mu     sync.Mutex
+	state  JobState
+	result *JobResult
+}
+
+// key is the job's verdict-cache identity: everything that determines
+// the answer, nothing that does not (budgets and witness preferences
+// stay out).
+func (j *job) key() verdictKey {
+	return verdictKey{
+		Hash:   j.hash,
+		Bound:  j.req.Bound,
+		Engine: j.engine,
+		Sem:    j.sem,
+		Deepen: j.req.Deepen,
+		PG:     j.req.PlaistedGreenbaum,
+	}
+}
+
+func (j *job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *job) finish(res *JobResult) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.result = res
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Result returns the job's result, nil while unfinished.
+func (j *job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// status is the JSON status view of a job.
+type jobStatus struct {
+	ID     string     `json:"id"`
+	State  JobState   `json:"state"`
+	Engine string     `json:"engine"`
+	Bound  int        `json:"bound"`
+	Deepen bool       `json:"deepen,omitempty"`
+	Hash   string     `json:"model_hash"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		ID:     j.id,
+		State:  j.state,
+		Engine: j.engine.String(),
+		Bound:  j.req.Bound,
+		Deepen: j.req.Deepen,
+		Hash:   j.hash,
+		Result: j.result,
+	}
+}
+
+// loadModel parses the inline model source.
+func loadModel(req CheckRequest) (*sebmc.System, error) {
+	if strings.TrimSpace(req.Model) == "" {
+		return nil, fmt.Errorf("service: empty model")
+	}
+	format := req.Format
+	if format == "" {
+		if strings.HasPrefix(strings.TrimSpace(req.Model), "aag ") {
+			format = "aag"
+		} else {
+			format = "msl"
+		}
+	}
+	switch format {
+	case "msl":
+		return sebmc.LoadMSL(req.Model)
+	case "aag":
+		return sebmc.LoadAIGER(strings.NewReader(req.Model), 0)
+	}
+	return nil, fmt.Errorf("service: unknown model format %q (want msl or aag)", format)
+}
+
+// fromResult converts a library Result, validating the witness by
+// replaying it against the encoded system.
+func fromResult(r sebmc.Result, j *job, sessionHit bool) *JobResult {
+	out := &JobResult{
+		Status:     r.Status.String(),
+		Bound:      j.req.Bound,
+		FoundAt:    -1,
+		DecidedBy:  r.DecidedBy,
+		SessionHit: sessionHit,
+		Conflicts:  r.Conflicts,
+		PeakBytes:  r.PeakBytes,
+	}
+	if r.Status == sebmc.Reachable {
+		out.FoundAt = r.K
+		noteWitness(out, r.Witness, r.System)
+	}
+	return out
+}
+
+// fromDeepen converts a library DeepenResult the same way.
+func fromDeepen(d sebmc.DeepenResult, j *job, sessionHit bool) *JobResult {
+	out := &JobResult{
+		Status:     d.Status.String(),
+		Bound:      j.req.Bound,
+		FoundAt:    d.FoundAt,
+		DecidedBy:  d.DecidedBy,
+		SessionHit: sessionHit,
+		Iterations: d.Iterations,
+	}
+	if d.Status == sebmc.Reachable {
+		noteWitness(out, d.Witness, d.System)
+	}
+	return out
+}
+
+func noteWitness(out *JobResult, w *sebmc.Witness, sys *sebmc.System) {
+	if w == nil || sys == nil {
+		out.Error = "reachable but no witness produced"
+		return
+	}
+	if err := w.Validate(sys); err != nil {
+		out.Error = fmt.Sprintf("witness failed replay: %v", err)
+		return
+	}
+	out.WitnessValidated = true
+	out.Witness = w.String()
+}

@@ -1,0 +1,413 @@
+// Package service implements bmcd, the long-running checking service:
+// an HTTP/JSON front end that keeps the sebmc engines warm across
+// requests. Three mechanisms make the server cheaper than re-running
+// the CLI per query:
+//
+//   - a bounded job queue fanned over a fixed worker pool (batch
+//     submissions additionally fan over the library's CheckMany /
+//     DeepenMany work-stealing pool), with cooperative cancellation on
+//     client disconnect, per-request timeout, and explicit cancel;
+//   - a verdict cache keyed by (model content hash, bound, semantics,
+//     engine, deepen, CNF mode) under an LRU byte budget, accounted the
+//     same honest way as the solvers' ClauseDBBytes/MemBytes;
+//   - a session pool of persistent EngineSATIncr / EngineJSAT handles
+//     (sebmc.Session), so a repeated model submitted at a deeper bound
+//     resumes the warm solver — learned clauses, hopeless-state cache
+//     and the proven-unreachable prefix carry over — instead of
+//     starting cold.
+//
+// Shutdown is a graceful drain: new submissions are rejected with 503,
+// queued and in-flight jobs run to completion, then the server stops.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	sebmc "repro"
+)
+
+// Config sizes the server. The zero value is usable: one worker per
+// CPU, a 64-slot queue, 16 MiB of verdicts, 64 MiB of warm sessions.
+type Config struct {
+	// Workers is the job worker pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// submissions beyond it are rejected with 503 (0 = 64).
+	QueueDepth int
+	// CacheBytes is the verdict cache's LRU byte budget (0 = 16 MiB;
+	// negative disables the cache).
+	CacheBytes int
+	// SessionBytes is the session pool's retained-solver byte budget
+	// (0 = 64 MiB; negative disables warm sessions).
+	SessionBytes int
+	// DefaultEngine answers requests that name no engine
+	// (zero value = EngineSAT; bmcd defaults to the portfolio).
+	DefaultEngine sebmc.Engine
+	// MaxJobs bounds the finished-job history kept for status queries
+	// (0 = 4096). Oldest finished jobs are evicted first.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 16 << 20
+	}
+	if c.SessionBytes == 0 {
+		c.SessionBytes = 64 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// Errors surfaced to submitters.
+var (
+	ErrDraining  = errors.New("service: draining, not accepting new jobs")
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// Server is the checking service. Create with New, expose Handler()
+// over any http.Server, and stop with Drain.
+type Server struct {
+	cfg      Config
+	metrics  *metrics
+	cache    *verdictCache
+	sessions *sessionPool
+
+	mu        sync.Mutex
+	draining  bool
+	queue     chan *job
+	batchJobs int // batch items admitted and not yet finished
+	jobs      map[string]*job
+	order     []string // submission order, for history eviction
+	head      int      // rolling eviction cursor into order
+	nextID    uint64
+
+	wg sync.WaitGroup
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		cache:    newVerdictCache(cfg.CacheBytes),
+		sessions: newSessionPool(cfg.SessionBytes),
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Drain stops intake and waits for every queued and in-flight job to
+// finish: the SIGTERM path. Submissions during and after the drain are
+// rejected with ErrDraining (HTTP 503). Returns ctx.Err if the context
+// expires first; the workers keep finishing in the background in that
+// case. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers finish the queued jobs, then exit
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// submit validates, registers and enqueues one job. The returned job is
+// already visible to status queries.
+func (s *Server) submit(req CheckRequest) (*job, error) {
+	j, err := s.newJob(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.metrics.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.registerLocked(j)
+	s.metrics.submitted.Add(1)
+	return j, nil
+}
+
+// newJob parses and validates a request into a runnable job (without
+// registering it — batch items are run in place, never queued
+// individually).
+func (s *Server) newJob(req CheckRequest) (*job, error) {
+	sys, err := loadModel(req)
+	if err != nil {
+		return nil, err
+	}
+	engine := s.cfg.DefaultEngine
+	if req.Engine != "" {
+		if engine, err = sebmc.ParseEngine(req.Engine); err != nil {
+			return nil, err
+		}
+	}
+	sem := sebmc.Exact
+	switch req.Semantics {
+	case "", "exact":
+	case "atmost":
+		sem = sebmc.AtMost
+	default:
+		return nil, fmt.Errorf("service: unknown semantics %q (want exact or atmost)", req.Semantics)
+	}
+	if req.Bound < 0 {
+		return nil, fmt.Errorf("service: negative bound %d", req.Bound)
+	}
+	return &job{
+		req:    req,
+		sys:    sys,
+		hash:   sebmc.ModelHash(sys),
+		engine: engine,
+		sem:    sem,
+		cancel: sebmc.NewCancelFlag(),
+		done:   make(chan struct{}),
+		state:  JobQueued,
+	}, nil
+}
+
+// registerLocked assigns an id and stores the job in the history,
+// evicting the oldest finished jobs beyond the cap. Callers hold s.mu.
+func (s *Server) registerLocked(j *job) {
+	s.nextID++
+	j.id = fmt.Sprintf("job-%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictHistoryLocked()
+}
+
+// evictHistoryLocked drops the oldest finished jobs once the history
+// cap is exceeded. The rolling head cursor keeps the common case O(1):
+// jobs finish in rough submission order, so the oldest entry is almost
+// always the evictable one and the scan stops immediately — no
+// front-to-back rescan or slice shift per submission. Callers hold
+// s.mu.
+func (s *Server) evictHistoryLocked() {
+	for len(s.jobs) > s.cfg.MaxJobs {
+		evicted := false
+		for i := s.head; i < len(s.order); i++ {
+			id := s.order[i]
+			old, ok := s.jobs[id]
+			if !ok {
+				// Slot already evicted; advance past a cleared prefix.
+				if i == s.head {
+					s.head++
+				}
+				continue
+			}
+			if old.State() != JobDone {
+				continue // still live; keep it, try a later entry
+			}
+			delete(s.jobs, id)
+			if i == s.head {
+				s.head++
+			} else {
+				s.order[i] = "" // cleared out of order; skipped above
+			}
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // everything live; let the history run long
+		}
+	}
+	// Compact once the consumed prefix dominates, so order does not
+	// grow without bound over the server's lifetime.
+	if s.head > 1024 && s.head > len(s.order)/2 {
+		s.order = append(s.order[:0:0], s.order[s.head:]...)
+		s.head = 0
+	}
+}
+
+// lookup returns a job by id.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// worker drains the queue until it is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job end to end: verdict cache, warm session or cold
+// engine, witness validation, metrics.
+func (s *Server) run(j *job) {
+	j.setState(JobRunning)
+	start := time.Now()
+	res := s.finishResult(j, s.answer(j))
+	res.ElapsedMS = time.Since(start).Milliseconds()
+	j.finish(res)
+	if res.Status == sebmc.Unknown.String() && j.cancel.Canceled() {
+		if j.timedOut.Load() {
+			s.metrics.timedOut.Add(1)
+		} else {
+			s.metrics.cancelled.Add(1)
+		}
+	}
+	s.metrics.notePeakBytes(int64(s.sessions.Bytes()))
+}
+
+// answer produces the job's raw result, consulting the verdict cache
+// first; finishResult applies the common post-processing.
+func (s *Server) answer(j *job) *JobResult {
+	if v, ok := s.cache.get(j.key()); ok {
+		s.metrics.cacheHits.Add(1)
+		res := v.result()
+		res.Cached = true
+		return res
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	// Per-request timeout rides the cancellation flag, so timeout,
+	// client disconnect and explicit cancel all stop the solver the
+	// same way — and none of them poisons a warm session. The timedOut
+	// mark keeps the two apart in /metrics.
+	if d := j.req.timeout(); d > 0 {
+		t := time.AfterFunc(d, func() {
+			j.timedOut.Store(true)
+			j.cancel.Set()
+		})
+		defer t.Stop()
+	}
+	return s.solve(j)
+}
+
+// finishResult is the single post-processing path every answered job —
+// single or batch item, computed or cached — goes through: fill the
+// verdict cache (decided, freshly computed answers only; UNKNOWN
+// depends on the request's budget, not the question), bump the
+// completion metrics, and strip the witness the requester did not ask
+// for. Stripping happens after caching, so the cache keeps the trace
+// for later requesters who do want it.
+func (s *Server) finishResult(j *job, res *JobResult) *JobResult {
+	if !res.Cached && res.Status != sebmc.Unknown.String() {
+		s.cache.put(j.key(), newVerdict(res))
+	}
+	s.metrics.completed.Add(1)
+	s.metrics.noteDecided(res.DecidedBy)
+	s.metrics.notePeakBytes(int64(res.PeakBytes))
+	if !j.req.Witness {
+		res.Witness = ""
+	}
+	return res
+}
+
+// solve runs the actual check: on a warm session for the incremental
+// engines, cold otherwise.
+func (s *Server) solve(j *job) *JobResult {
+	opts := sebmc.Options{
+		Semantics:         j.sem,
+		PlaistedGreenbaum: j.req.PlaistedGreenbaum,
+	}
+	if sess, hit := s.sessions.acquire(j, opts); sess != nil {
+		defer s.sessions.release(j, sess)
+		if hit {
+			s.metrics.sessionHits.Add(1)
+		} else {
+			s.metrics.sessionMisses.Add(1)
+		}
+		if j.req.Deepen {
+			return fromDeepen(sess.DeepenWith(j.req.Bound, j.cancel), j, hit)
+		}
+		return fromResult(sess.CheckWith(j.req.Bound, j.cancel), j, hit)
+	}
+	opts.Cancel = j.cancel
+	if j.req.Deepen {
+		return fromDeepen(sebmc.Deepen(j.sys, j.req.Bound, j.engine, opts), j, false)
+	}
+	return fromResult(sebmc.Check(j.sys, j.req.Bound, j.engine, opts), j, false)
+}
+
+// runBatch answers a whole batch: cached items immediately, the misses
+// fanned over the library's CheckMany/DeepenMany work-stealing pool.
+// Batch items bypass the session pool — a batch is a one-shot sweep,
+// and its items would otherwise serialize on per-model session locks.
+func (s *Server) runBatch(items []*job) []*JobResult {
+	out := make([]*JobResult, len(items))
+	var missIdx []int
+	var libJobs []sebmc.Job
+	for i, j := range items {
+		if v, ok := s.cache.get(j.key()); ok {
+			s.metrics.cacheHits.Add(1)
+			res := v.result()
+			res.Cached = true
+			out[i] = s.finishResult(j, res)
+			continue
+		}
+		s.metrics.cacheMisses.Add(1)
+		missIdx = append(missIdx, i)
+		libJobs = append(libJobs, sebmc.Job{
+			Sys:    j.sys,
+			K:      j.req.Bound,
+			Engine: j.engine,
+			Opts: sebmc.Options{
+				Semantics:         j.sem,
+				PlaistedGreenbaum: j.req.PlaistedGreenbaum,
+				Timeout:           j.req.timeout(),
+				Cancel:            j.cancel,
+			},
+		})
+	}
+	if len(libJobs) > 0 {
+		if items[0].req.Deepen {
+			for bi, d := range sebmc.DeepenMany(libJobs, s.cfg.Workers) {
+				i := missIdx[bi]
+				out[i] = s.finishResult(items[i], fromDeepen(d, items[i], false))
+			}
+		} else {
+			for bi, r := range sebmc.CheckMany(libJobs, s.cfg.Workers) {
+				i := missIdx[bi]
+				out[i] = s.finishResult(items[i], fromResult(r, items[i], false))
+			}
+		}
+	}
+	return out
+}

@@ -44,6 +44,14 @@
 // cooperatively via Options.Cancel, which may be shared — cancelling a
 // parent flag stops every check derived from it.
 //
+// Long-lived clients keep a warm engine across requests with a Session
+// (NewSession): one persistent sat-incr or jsat solver per model whose
+// learned state and proven-unreachable prefix carry over, so deepening
+// to a larger bound resumes instead of restarting. ModelHash provides
+// the content address used to key verdict caches; the bmcd service
+// (internal/service, cmd/bmcd) builds its job queue, verdict cache and
+// session pool on exactly these two primitives.
+//
 // Models come from the MSL hardware description language (LoadMSL), from
 // ASCII AIGER files (LoadAIGER), or are built programmatically against
 // the internal circuit packages.

@@ -1,0 +1,281 @@
+package sebmc
+
+// This file is the warm-engine face of the library: ModelHash (a
+// content address for transition systems, the cache key of the bmcd
+// verdict cache) and Session, a persistent handle that keeps one
+// incremental engine alive across many requests. A Session is what
+// turns the paper's "one copy of the transition relation" from a
+// per-query property into a per-*service* property: a model checked at
+// bound k and later at k+4 resumes the same solver — learned clauses,
+// hopeless-state cache, and the proven-unreachable prefix all carry
+// over, so only the four new bounds are ever solved.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bmc"
+	"repro/internal/jsat"
+	"repro/internal/sat"
+)
+
+// ModelHash returns a content address for the system: a hex digest of
+// the circuit's AIGER serialization plus the bad-literal selection.
+// Two systems with equal hashes encode the same checking problem
+// regardless of how they were loaded or what they are named, so the
+// hash keys verdict caches and session pools.
+func ModelHash(sys *System) string {
+	h := sha256.New()
+	// WriteAAG to a hash never fails: hash.Hash writes are infallible.
+	_ = sys.Circ.WriteAAG(h)
+	fmt.Fprintf(h, "|bad=%d", uint32(sys.Bad))
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// SessionStats counts the work a Session has answered and what it
+// retained.
+type SessionStats struct {
+	Checks      int // Check/Deepen requests served
+	BoundsRun   int // bounds actually solved (cold work)
+	BoundsSaved int // bounds answered from the proven prefix (warm work)
+	ProvenUpTo  int // all bounds 0..ProvenUpTo are Unreachable (-1: none)
+	MemBytes    int // retained solver footprint, honestly accounted
+}
+
+// Session is a persistent checking handle: one warm incremental engine
+// (EngineSATIncr or EngineJSAT — the two engines whose solvers are
+// designed to live across bounds) serving any number of Check and
+// Deepen requests for one system. The session tracks the contiguous
+// prefix of bounds already proven Unreachable, so a Deepen to a larger
+// bound resumes where the last one stopped instead of re-solving from
+// bound 0. All methods are safe for concurrent use; requests are
+// serialized on the session's lock (the underlying solver is single-
+// threaded state).
+type Session struct {
+	mu     sync.Mutex
+	engine Engine
+	opts   Options
+	sys    *System
+
+	incr *bmc.IncrementalUnroller // EngineSATIncr
+	js   *jsat.Solver             // EngineJSAT
+
+	proven int // bounds 0..proven are Unreachable; -1 = nothing proven
+	stats  SessionStats
+
+	// memHint is the retained footprint as of the last completed
+	// request, readable without the session lock: a pool accounting a
+	// finished request's bytes must not block behind a concurrent
+	// long-running solve on the same session.
+	memHint atomic.Int64
+}
+
+// NewSession builds a warm session for sys. Only EngineSATIncr and
+// EngineJSAT are supported — the remaining engines re-encode per query
+// and gain nothing from staying resident; use Check for those.
+// Options.Timeout applies per request (re-armed on every Check/Deepen
+// call); Options.Cancel, when set, is the session-wide default signal,
+// overridable per call via CheckWith/DeepenWith.
+func NewSession(sys *System, engine Engine, opts Options) (*Session, error) {
+	s := &Session{engine: engine, opts: opts, sys: sys, proven: -1}
+	s.stats.ProvenUpTo = -1
+	switch engine {
+	case EngineSATIncr:
+		io := opts.incremental()
+		// The session arms one deadline per request instead of one per
+		// bound, so a Deepen request's timeout covers the whole loop.
+		io.QueryTimeout = 0
+		s.incr = bmc.NewIncrementalUnroller(sys, io)
+	case EngineJSAT:
+		s.js = jsat.New(sys, jsat.Options{
+			Semantics:    opts.Semantics,
+			Mode:         opts.mode(),
+			QueryBudget:  opts.QueryBudget,
+			Cancel:       opts.Cancel,
+			DisableCache: opts.DisableJSATCache,
+			SAT:          sat.Options{ConflictBudget: opts.ConflictBudget},
+		})
+	default:
+		return nil, fmt.Errorf("sebmc: engine %v cannot run as a session (want sat-incr or jsat)", engine)
+	}
+	return s, nil
+}
+
+// Engine returns the engine the session runs.
+func (s *Session) Engine() Engine { return s.engine }
+
+// System returns the system the session was built for.
+func (s *Session) System() *System { return s.sys }
+
+// Stats returns a snapshot of the session's counters, including the
+// retained solver footprint (ClauseDBBytes high water for the
+// incremental engine, live MemBytes for jSAT).
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Session) snapshotLocked() SessionStats {
+	st := s.stats
+	st.ProvenUpTo = s.proven
+	if s.incr != nil {
+		st.MemBytes = s.incr.Stats().PeakBytes
+	} else {
+		st.MemBytes = s.js.MemBytes()
+	}
+	return st
+}
+
+// noteMemLocked refreshes the lock-free footprint hint. Callers hold
+// s.mu.
+func (s *Session) noteMemLocked() {
+	if s.incr != nil {
+		s.memHint.Store(int64(s.incr.Stats().PeakBytes))
+	} else {
+		s.memHint.Store(int64(s.js.MemBytes()))
+	}
+}
+
+// MemBytesHint returns the session's retained solver footprint as of
+// the last completed request. Unlike Stats, it never blocks: it reads
+// an atomic snapshot instead of taking the session lock, so callers
+// accounting memory are not serialized behind an in-flight solve.
+func (s *Session) MemBytesHint() int { return int(s.memHint.Load()) }
+
+// arm prepares the solvers for one request: per-request deadline and
+// the effective cancellation flag. Callers must hold s.mu.
+func (s *Session) arm(c *CancelFlag) {
+	if c == nil {
+		c = s.opts.Cancel
+	}
+	var d time.Time
+	if s.opts.Timeout > 0 {
+		d = time.Now().Add(s.opts.Timeout)
+	}
+	if s.incr != nil {
+		s.incr.SetDeadline(d)
+		s.incr.SetCancel(c)
+	} else {
+		s.js.SetDeadline(d)
+		s.js.SetCancel(c)
+	}
+}
+
+// disarm drops the per-request flag so a one-shot cancel signal set
+// after its request finished cannot poison the next request.
+func (s *Session) disarm() {
+	if s.incr != nil {
+		s.incr.SetCancel(s.opts.Cancel)
+	} else {
+		s.js.SetCancel(s.opts.Cancel)
+	}
+}
+
+// checkLocked answers one bound on the warm engine.
+func (s *Session) checkLocked(k int) Result {
+	var r Result
+	if s.incr != nil {
+		r = s.incr.CheckBound(k)
+	} else {
+		r = s.js.Check(k)
+	}
+	s.stats.BoundsRun++
+	s.noteLocked(k, r.Status)
+	r.DecidedBy = s.engine.String()
+	return r
+}
+
+// noteLocked extends the proven-unreachable prefix. Under AtMost
+// semantics an Unreachable answer at k covers every bound ≤ k; under
+// Exact it only extends a contiguous prefix.
+func (s *Session) noteLocked(k int, st Status) {
+	if st != Unreachable {
+		return
+	}
+	if s.opts.Semantics == AtMost {
+		if k > s.proven {
+			s.proven = k
+		}
+	} else if k == s.proven+1 {
+		s.proven = k
+	}
+}
+
+// Check answers one bounded query on the warm engine, reusing all
+// retained solver state. Equivalent to CheckWith(k, nil).
+func (s *Session) Check(k int) Result { return s.CheckWith(k, nil) }
+
+// CheckWith is Check with a per-request cancellation flag (nil falls
+// back to the session's Options.Cancel).
+func (s *Session) CheckWith(k int, c *CancelFlag) Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.noteMemLocked()
+	s.stats.Checks++
+	if k <= s.proven {
+		// Already proven unreachable at this bound (for Exact, the
+		// prefix proof at bound k is exactly the earlier bound-k query).
+		s.stats.BoundsSaved++
+		return Result{Status: Unreachable, K: k, System: s.system(), DecidedBy: s.engine.String()}
+	}
+	s.arm(c)
+	defer s.disarm()
+	return s.checkLocked(k)
+}
+
+// Deepen searches bounds 0..maxBound for the shortest counterexample,
+// resuming from the session's proven prefix: bounds already proven
+// Unreachable by earlier requests are skipped, counted in
+// SessionStats.BoundsSaved. Equivalent to DeepenWith(maxBound, nil).
+func (s *Session) Deepen(maxBound int) DeepenResult { return s.DeepenWith(maxBound, nil) }
+
+// DeepenWith is Deepen with a per-request cancellation flag.
+func (s *Session) DeepenWith(maxBound int, c *CancelFlag) DeepenResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.noteMemLocked()
+	s.stats.Checks++
+	res := DeepenResult{FoundAt: -1, DecidedBy: s.engine.String()}
+	start := s.proven + 1
+	s.stats.BoundsSaved += min(start, maxBound+1)
+	if start > maxBound {
+		res.Status = Unreachable
+		res.System = s.system()
+		return res
+	}
+	s.arm(c)
+	defer s.disarm()
+	for k := start; k <= maxBound; k++ {
+		res.Iterations++
+		res.BoundsTried = append(res.BoundsTried, k)
+		r := s.checkLocked(k)
+		switch r.Status {
+		case Reachable:
+			res.Status = Reachable
+			res.FoundAt = k
+			res.Witness = r.Witness
+			res.System = r.System
+			return res
+		case Unknown:
+			res.Status = Unknown
+			return res
+		}
+	}
+	res.Status = Unreachable
+	res.System = s.system()
+	return res
+}
+
+// system returns the encoded (post-transform) system, the one witnesses
+// validate against.
+func (s *Session) system() *System {
+	if s.incr != nil {
+		return s.incr.System()
+	}
+	return s.js.System()
+}

@@ -1,0 +1,155 @@
+package sebmc_test
+
+// Tests for the warm-engine facade: ModelHash as a content address and
+// Session as a persistent handle whose proven-unreachable prefix makes
+// repeated deepening requests resume instead of restarting — the
+// contract the bmcd service's session pool is built on.
+
+import (
+	"testing"
+
+	sebmc "repro"
+	"repro/internal/circuits"
+)
+
+func TestModelHashIsContentAddress(t *testing.T) {
+	a := circuits.Counter(3, 5)
+	b := circuits.Counter(3, 5)
+	c := circuits.Counter(3, 6)
+	if sebmc.ModelHash(a) != sebmc.ModelHash(b) {
+		t.Fatal("identical circuits hash differently")
+	}
+	if sebmc.ModelHash(a) == sebmc.ModelHash(c) {
+		t.Fatal("different bad predicates hash equally")
+	}
+	b.Name = "renamed"
+	if sebmc.ModelHash(a) != sebmc.ModelHash(b) {
+		t.Fatal("hash depends on the model name")
+	}
+}
+
+func TestSessionRejectsNonIncrementalEngines(t *testing.T) {
+	sys := circuits.Counter(3, 5)
+	for _, e := range []sebmc.Engine{sebmc.EngineSAT, sebmc.EngineQBFLinear, sebmc.EngineQBFSquaring, sebmc.EnginePortfolio} {
+		if _, err := sebmc.NewSession(sys, e, sebmc.Options{}); err == nil {
+			t.Errorf("NewSession(%v) accepted a non-incremental engine", e)
+		}
+	}
+}
+
+// TestSessionDeepenResumes is the acceptance-criterion test: deepening
+// to bound k and then to k+4 must solve only the four new bounds the
+// second time.
+func TestSessionDeepenResumes(t *testing.T) {
+	for _, engine := range []sebmc.Engine{sebmc.EngineSATIncr, sebmc.EngineJSAT} {
+		t.Run(engine.String(), func(t *testing.T) {
+			sys := circuits.Counter(3, 5) // shortest counterexample at k=5
+			sess, err := sebmc.NewSession(sys, engine, sebmc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := sess.Deepen(3)
+			if d.Status != sebmc.Unreachable {
+				t.Fatalf("deepen to 3: got %v, want UNREACHABLE", d.Status)
+			}
+			if st := sess.Stats(); st.BoundsRun != 4 || st.ProvenUpTo != 3 {
+				t.Fatalf("after deepen(3): BoundsRun=%d ProvenUpTo=%d, want 4 and 3", st.BoundsRun, st.ProvenUpTo)
+			}
+			d = sess.Deepen(7)
+			if d.Status != sebmc.Reachable || d.FoundAt != 5 {
+				t.Fatalf("deepen to 7: got %v at %d, want REACHABLE at 5", d.Status, d.FoundAt)
+			}
+			if d.Witness == nil {
+				t.Fatal("no witness from warm deepen")
+			}
+			if err := d.Witness.Validate(d.System); err != nil {
+				t.Fatalf("warm-deepen witness does not replay: %v", err)
+			}
+			st := sess.Stats()
+			// Resumed at bound 4: only bounds 4 and 5 were solved.
+			if st.BoundsRun != 6 {
+				t.Fatalf("resumed deepen solved %d bounds total, want 6 (4 cold + 2 warm)", st.BoundsRun)
+			}
+			if st.BoundsSaved != 4 {
+				t.Fatalf("BoundsSaved=%d, want 4", st.BoundsSaved)
+			}
+			// A whole deepen inside the proven prefix is free.
+			d = sess.Deepen(3)
+			if d.Status != sebmc.Unreachable || sess.Stats().BoundsRun != 6 {
+				t.Fatal("deepen within the proven prefix re-solved bounds")
+			}
+		})
+	}
+}
+
+func TestSessionCheckMatchesFreshCheck(t *testing.T) {
+	for _, engine := range []sebmc.Engine{sebmc.EngineSATIncr, sebmc.EngineJSAT} {
+		t.Run(engine.String(), func(t *testing.T) {
+			sys := circuits.TokenRing(5) // cex at k=4, then every 5
+			sess, err := sebmc.NewSession(sys, engine, sebmc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k <= 9; k++ {
+				want := sebmc.Check(sys, k, engine, sebmc.Options{})
+				got := sess.Check(k)
+				if got.Status != want.Status {
+					t.Fatalf("k=%d: session says %v, fresh check says %v", k, got.Status, want.Status)
+				}
+				if got.Status == sebmc.Reachable {
+					if got.Witness == nil {
+						t.Fatalf("k=%d: reachable without witness", k)
+					}
+					if err := got.Witness.Validate(got.System); err != nil {
+						t.Fatalf("k=%d: witness does not replay: %v", k, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSessionAtMostPrefix: one at-most-k Unreachable answer proves every
+// smaller bound, so later checks below it are free.
+func TestSessionAtMostPrefix(t *testing.T) {
+	sys := circuits.TrafficLight(2) // safe at every bound
+	sess, err := sebmc.NewSession(sys, sebmc.EngineJSAT, sebmc.Options{Semantics: sebmc.AtMost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sess.Check(6); r.Status != sebmc.Unreachable {
+		t.Fatalf("got %v, want UNREACHABLE", r.Status)
+	}
+	runs := sess.Stats().BoundsRun
+	for k := 0; k <= 6; k++ {
+		if r := sess.Check(k); r.Status != sebmc.Unreachable {
+			t.Fatalf("k=%d: got %v, want UNREACHABLE", k, r.Status)
+		}
+	}
+	if st := sess.Stats(); st.BoundsRun != runs {
+		t.Fatalf("checks under the at-most prefix re-ran the solver (%d -> %d bounds)", runs, st.BoundsRun)
+	}
+}
+
+// TestSessionCancelDoesNotPoison: a cancelled request returns Unknown,
+// and the session still answers the next request correctly — the
+// one-shot flag must not stick to the warm solver.
+func TestSessionCancelDoesNotPoison(t *testing.T) {
+	for _, engine := range []sebmc.Engine{sebmc.EngineSATIncr, sebmc.EngineJSAT} {
+		t.Run(engine.String(), func(t *testing.T) {
+			sys := circuits.Counter(3, 5)
+			sess, err := sebmc.NewSession(sys, engine, sebmc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dead := sebmc.NewCancelFlag()
+			dead.Set()
+			if r := sess.CheckWith(5, dead); r.Status != sebmc.Unknown {
+				t.Fatalf("pre-cancelled request: got %v, want UNKNOWN", r.Status)
+			}
+			if r := sess.Check(5); r.Status != sebmc.Reachable {
+				t.Fatalf("request after a cancelled one: got %v, want REACHABLE", r.Status)
+			}
+		})
+	}
+}
