@@ -250,6 +250,24 @@ func benchDeepen(b *testing.B, incremental bool) {
 func BenchmarkDeepen_Monolithic_d64(b *testing.B)  { benchDeepen(b, false) }
 func BenchmarkDeepen_Incremental_d64(b *testing.B) { benchDeepen(b, true) }
 
+// BenchmarkDeepen_Geometric is the E11 headline on the depth-512
+// deep-bug family: the geometric schedule over the warm incremental
+// engine — doubling to the counterexample, bisecting back to the exact
+// depth — against 513 linear invocations.
+func BenchmarkDeepen_Geometric(b *testing.B) {
+	sys := circuits.DeepCounter(512)
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		d := bmc.DeepenGeometricIncremental(sys, 512, 0, bmc.IncrementalOptions{})
+		if d.FoundAt != 512 {
+			b.Fatalf("depth-512 counterexample found at %d, want 512", d.FoundAt)
+		}
+		iters = d.Iterations
+	}
+	b.ReportMetric(float64(iters), "iterations")
+}
+
 // Substrate micro-benchmarks: the hot paths under everything above.
 
 // benchPropagation loads one fixed CNF into a fresh solver per iteration,

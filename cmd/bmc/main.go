@@ -5,7 +5,8 @@
 //
 //	bmc -model design.msl -k 12
 //	    [-engine sat|sat-incr|jsat|qbf-linear|qbf-squaring|portfolio]
-//	    [-sem exact|atmost] [-timeout 30s] [-witness] [-pg] [-jobs N]
+//	    [-sem exact|atmost] [-schedule linear|geometric]
+//	    [-timeout 30s] [-witness] [-pg] [-jobs N]
 //	bmc -k 12 -engine portfolio -jobs 4 a.msl b.msl c.aag
 //
 // Models are loaded from .msl (Model Specification Language) or .aag
@@ -44,6 +45,7 @@ func main() {
 		witness   = flag.Bool("witness", false, "print the counterexample trace when found")
 		pg        = flag.Bool("pg", false, "use the Plaisted-Greenbaum CNF transformation")
 		deepen    = flag.Bool("deepen", false, "iterate bounds 0..k and report the first counterexample")
+		schedStr  = flag.String("schedule", "linear", "deepening bound schedule: linear, or geometric (k→2k + bisection; implies -sem atmost)")
 		prove     = flag.Bool("prove", false, "attempt a full safety proof by k-induction up to depth k")
 		stats     = flag.Bool("stats", false, "print solver effort statistics (conflicts, clause-DB bytes)")
 		jobs      = flag.Int("jobs", 0, "batch workers for multiple models (0 = one per CPU)")
@@ -71,6 +73,9 @@ func main() {
 		opts.Semantics = sebmc.AtMost
 	default:
 		fatal(fmt.Errorf("bmc: unknown semantics %q", *semStr))
+	}
+	if opts.Schedule, err = sebmc.ParseSchedule(*schedStr); err != nil {
+		fatal(err)
 	}
 
 	if len(paths) > 1 {

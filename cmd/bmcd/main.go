@@ -7,6 +7,7 @@
 //
 //	bmcd [-addr :8080] [-workers N] [-queue 64]
 //	     [-cache-mb 16] [-session-mb 64] [-engine portfolio]
+//	     [-schedule linear|geometric]
 //
 // Endpoints (all JSON): POST /v1/check, POST /v1/batch,
 // GET /v1/jobs/{id}, GET /v1/results/{id}, DELETE /v1/jobs/{id},
@@ -44,11 +45,16 @@ func main() {
 		cacheMB   = flag.Int("cache-mb", 16, "verdict cache budget in MiB (0 or negative disables)")
 		sessionMB = flag.Int("session-mb", 64, "warm-session budget in MiB (0 or negative disables)")
 		engineStr = flag.String("engine", "portfolio", "default engine for requests that name none")
+		schedStr  = flag.String("schedule", "linear", "default deepening schedule for requests that name none: linear or geometric")
 		drainWait = flag.Duration("drain-timeout", 60*time.Second, "max time to finish in-flight jobs on shutdown")
 	)
 	flag.Parse()
 
 	engine, err := sebmc.ParseEngine(*engineStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := sebmc.ParseSchedule(*schedStr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,11 +68,12 @@ func main() {
 		return v << 20
 	}
 	srv := service.New(service.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheBytes:    mb(*cacheMB),
-		SessionBytes:  mb(*sessionMB),
-		DefaultEngine: engine,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheBytes:      mb(*cacheMB),
+		SessionBytes:    mb(*sessionMB),
+		DefaultEngine:   engine,
+		DefaultSchedule: sched,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -13,6 +13,7 @@
 //	experiments -e deepening         # E8: incremental vs monolithic deepening
 //	experiments -e portfolio         # E9: portfolio vs best single engine
 //	experiments -e jsatperf          # E10: jSAT hot-path throughput
+//	experiments -e deepbug           # E11: deep-counterexample crossover
 //	experiments -e all               # everything
 //	    [-timelimit 1s] [-csv results.csv] [-jobs N]
 package main
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("e", "all", "experiment: table1, growth, memory, squaring, ablation, qbfwall, bdd, deepening, portfolio, jsatperf, all")
+		exp       = flag.String("e", "all", "experiment: table1, growth, memory, squaring, ablation, qbfwall, bdd, deepening, portfolio, jsatperf, deepbug, all")
 		timeLimit = flag.Duration("timelimit", time.Second, "per-instance time budget")
 		csvPath   = flag.String("csv", "", "write per-instance table1 results as CSV")
 		jobs      = flag.Int("jobs", 1, "parallel workers for the table1 sweep (timings reflect a loaded machine when > 1)")
@@ -95,6 +96,9 @@ func main() {
 	})
 	run("jsatperf", func() {
 		bench.WriteE10(os.Stdout, bench.RunE10(cfg))
+	})
+	run("deepbug", func() {
+		bench.WriteE11(os.Stdout, bench.RunE11(cfg))
 	})
 	run("portfolio", func() {
 		// Wall-clock comparisons need an unloaded machine: the

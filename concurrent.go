@@ -62,6 +62,22 @@ func (o Options) competitors() []Engine {
 // cancellation), so does the portfolio.
 func checkPortfolio(sys *System, k int, opts Options) Result {
 	engines := opts.competitors()
+	// The squaring engine answers a non-power-of-two bound by rounding
+	// it up under at-most-k semantics — a different question than the
+	// one the other competitors race, so its answer must not win here.
+	// Deepening races are unaffected: every bound the squaring schedule
+	// queries is a power of two.
+	if k&(k-1) != 0 {
+		kept := engines[:0]
+		for _, e := range engines {
+			if e != EngineQBFSquaring {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) > 0 {
+			engines = kept
+		}
+	}
 	tasks := make([]portfolio.Task[Result], len(engines))
 	for i, eng := range engines {
 		eng := eng
@@ -85,7 +101,9 @@ func checkPortfolio(sys *System, k int, opts Options) Result {
 // deepenPortfolio races whole iterative-deepening runs. Racing the runs
 // rather than the individual bounds lets each engine keep its own
 // deepening advantage (the incremental engine its persistent solver,
-// jSAT its hopeless cache across bounds).
+// jSAT its hopeless cache across bounds, an opted-in EngineQBFSquaring
+// its power-of-two squaring schedule — see Options.PortfolioEngines for
+// the FoundAt caveat when that arm wins).
 func deepenPortfolio(sys *System, maxBound int, opts Options) DeepenResult {
 	engines := opts.competitors()
 	tasks := make([]portfolio.Task[DeepenResult], len(engines))

@@ -9,7 +9,6 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/aig"
 	"repro/internal/circuits"
 	"repro/internal/model"
 )
@@ -89,21 +88,9 @@ func grayOf(v uint64) uint64 { return v ^ v>>1 }
 // LFSRAtDepth builds the LFSR family with the bad target set to the
 // register value reached after exactly `depth` steps from the seed, so
 // the instance has a known deterministic counterexample depth. The
-// deepening experiments (E8) use deep variants of it directly.
+// deepening experiments (E8, E11) use deep variants of it directly.
+// It is circuits.DeepLFSR, which additionally verifies by simulation
+// that `depth` really is the target state's first occurrence.
 func LFSRAtDepth(n int, taps uint64, depth int) *model.System {
-	// Build once with a dummy target to get the circuit, simulate, then
-	// rebuild with the real target.
-	probe := circuits.LFSR(n, taps, 0)
-	e := aig.NewEvaluator(probe.Circ)
-	state, _ := aig.InitialStates(probe.Circ)
-	for i := 0; i < depth; i++ {
-		state, _ = e.StepBool(nil, state)
-	}
-	var target uint64
-	for i, b := range state {
-		if b {
-			target |= 1 << uint(i)
-		}
-	}
-	return circuits.LFSR(n, taps, target)
+	return circuits.DeepLFSR(n, taps, depth)
 }

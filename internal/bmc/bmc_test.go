@@ -169,13 +169,22 @@ func TestSquaringAtMostCoversAllBounds(t *testing.T) {
 	}
 }
 
-func TestSquaringRejectsNonPowerOfTwo(t *testing.T) {
-	sys := circuits.Counter(2, 2)
-	if _, err := bmc.SolveSquaring(sys, 3, bmc.SquaringOptions{}); err == nil {
-		t.Fatalf("bound 3 should be rejected")
+func TestSquaringRoundsUpNonPowerOfTwo(t *testing.T) {
+	// SolveSquaring used to reject non-power-of-two bounds with an
+	// error some callers swallowed into a silent Unknown. It now rounds
+	// up to the next power of two under at-most-k (sound: covers <= k)
+	// and tags Result.K with the bound actually checked.
+	sys := circuits.Counter(2, 2) // counterexample at depth 2
+	r, err := bmc.SolveSquaring(sys, 3, bmc.SquaringOptions{})
+	if err != nil {
+		t.Fatal(err)
 	}
+	if r.Status != bmc.Reachable || r.K != 4 {
+		t.Fatalf("k=3 rounds up to at-most-4: got %v K=%d, want REACHABLE K=4", r.Status, r.K)
+	}
+	// The raw encoder still only speaks powers of two.
 	if _, err := bmc.EncodeSquaring(sys, 6, tseitin.Full); err == nil {
-		t.Fatalf("bound 6 should be rejected")
+		t.Fatalf("EncodeSquaring bound 6 should be rejected")
 	}
 }
 

@@ -76,6 +76,88 @@ func diffOneSystem(t *testing.T, sys *model.System, maxK int, seed int64) {
 	}
 }
 
+// TestDifferentialDeepenSchedulesAgree extends the harness to the
+// deepening schedules: on random circuits and the deterministic-depth
+// families, linear deepening, the geometric schedule (both the
+// low-level incremental driver and the facade's Schedule option over
+// the monolithic and incremental engines), and the squaring schedule
+// are all run against the explicit-state oracle's shortest
+// counterexample. Every exact-depth schedule must report the identical
+// FoundAt; the squaring schedule (power-of-two bounds only) must land
+// on the first power of two covering it.
+func TestDifferentialDeepenSchedulesAgree(t *testing.T) {
+	systems := []*model.System{
+		circuits.Counter(3, 5),
+		circuits.CounterEnable(2, 2),
+		circuits.TokenRing(5),
+		circuits.TrafficLight(2),
+		circuits.FIFO(2),
+	}
+	for seed := int64(400); seed < 408; seed++ {
+		systems = append(systems, circuits.RandomAIG(seed, 1+int(seed%3), 2+int(seed%4), 4+int(seed%17), 2))
+	}
+	const maxBound = 16 // power of two: full squaring coverage
+	for _, sys := range systems {
+		shortest := explicit.New(sys).ShortestCounterexample()
+		wantFound := -1
+		if shortest >= 0 && shortest <= maxBound {
+			wantFound = shortest
+		}
+
+		lin := bmc.DeepenIncremental(sys, maxBound, bmc.IncrementalOptions{})
+		geo := bmc.DeepenGeometricIncremental(sys, maxBound, 0, bmc.IncrementalOptions{})
+		fgeoSAT := sebmc.Deepen(sys, maxBound, sebmc.EngineSAT, sebmc.Options{Schedule: sebmc.ScheduleGeometric})
+		fgeoIncr := sebmc.Deepen(sys, maxBound, sebmc.EngineSATIncr, sebmc.Options{Schedule: sebmc.ScheduleGeometric})
+
+		for _, arm := range []struct {
+			name string
+			d    bmc.DeepenResult
+		}{
+			{"linear/incr", lin},
+			{"geometric/incr", geo},
+			{"geometric/facade-sat", bmc.DeepenResult(fgeoSAT)},
+			{"geometric/facade-sat-incr", bmc.DeepenResult(fgeoIncr)},
+		} {
+			if arm.d.Status == bmc.Unknown {
+				t.Fatalf("%s %s: Unknown without a budget", sys.Name, arm.name)
+			}
+			if arm.d.FoundAt != wantFound {
+				t.Fatalf("%s %s: FoundAt=%d, oracle shortest=%d (want %d)",
+					sys.Name, arm.name, arm.d.FoundAt, shortest, wantFound)
+			}
+			if wantFound >= 0 {
+				if arm.d.Witness == nil {
+					t.Fatalf("%s %s: Reachable without witness", sys.Name, arm.name)
+				}
+				if err := arm.d.Witness.Validate(arm.d.System); err != nil {
+					t.Fatalf("%s %s: witness does not replay: %v", sys.Name, arm.name, err)
+				}
+			}
+		}
+
+		// The squaring schedule answers only power-of-two bounds, so its
+		// FoundAt contract is the first scheduled bound covering the
+		// shortest depth.
+		sq := bmc.DeepenSquaring(sys, maxBound, func(m *model.System, k int) bmc.Result {
+			return bmc.SolveUnroll(m, k, bmc.UnrollOptions{Semantics: bmc.AtMost})
+		})
+		wantSq := -1
+		if wantFound >= 0 {
+			wantSq = 1
+			for wantSq < wantFound {
+				wantSq *= 2
+			}
+			if wantFound == 0 {
+				wantSq = 0
+			}
+		}
+		if sq.FoundAt != wantSq {
+			t.Fatalf("%s squaring: FoundAt=%d, want first pow2 %d covering shortest %d",
+				sys.Name, sq.FoundAt, wantSq, shortest)
+		}
+	}
+}
+
 func checkAgainstOracle(t *testing.T, engine string, sys *model.System, seed int64, k int, r bmc.Result, want bool) {
 	t.Helper()
 	if r.Status == bmc.Unknown {

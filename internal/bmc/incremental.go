@@ -246,8 +246,28 @@ func (u *IncrementalUnroller) Deepen(maxBound int) DeepenResult {
 	return res
 }
 
+// DeepenGeometric runs the geometric deepening schedule on this
+// unroller: bounds grow by ratio (≤ 1 = DefaultGeometricRatio) up to
+// maxBound, with binary-search refinement of the last growth interval,
+// all through the one persistent solver — learned clauses and retired
+// properties carry across the jumps (CheckBound accepts bounds in any
+// order). The unroller must have been built with AtMost semantics;
+// skipping bounds is unsound under Exact.
+func (u *IncrementalUnroller) DeepenGeometric(maxBound int, ratio float64) DeepenResult {
+	return DeepenGeometricFrom(-1, maxBound, ratio, u.CheckBound)
+}
+
 // DeepenIncremental is the persistent-solver counterpart of
 // DeepenLinear: one IncrementalUnroller serves every bound 0..maxBound.
 func DeepenIncremental(sys *model.System, maxBound int, opts IncrementalOptions) DeepenResult {
 	return NewIncrementalUnroller(sys, opts).Deepen(maxBound)
+}
+
+// DeepenGeometricIncremental is the persistent-solver entry point for
+// the geometric schedule: one IncrementalUnroller, prepared with AtMost
+// semantics regardless of opts (the schedule requires it), serves the
+// doubling run and the refinement probes.
+func DeepenGeometricIncremental(sys *model.System, maxBound int, ratio float64, opts IncrementalOptions) DeepenResult {
+	opts.Semantics = AtMost
+	return NewIncrementalUnroller(sys, opts).DeepenGeometric(maxBound, ratio)
 }

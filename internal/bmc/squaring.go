@@ -190,8 +190,18 @@ type SquaringOptions struct {
 	QBF       qbf.Options
 }
 
-// SolveSquaring runs BMC at a power-of-two bound k through formula (3).
+// SolveSquaring runs BMC at bound k through formula (3). The encoding
+// only expresses power-of-two bounds, so a non-power-of-two k is
+// answered at the next power of two under at-most-k semantics — the
+// paper's self-loop trick, which makes the rounded-up query cover every
+// bound ≤ the rounded bound, k included. Result.K reports the bound
+// actually checked; note that a Reachable answer then means "within
+// Result.K steps", not "within k".
 func SolveSquaring(sys *model.System, k int, opts SquaringOptions) (Result, error) {
+	if k > 0 && k&(k-1) != 0 {
+		opts.Semantics = AtMost
+		k = 1 << bits.Len(uint(k))
+	}
 	prepared := Prepare(sys, opts.Semantics)
 	enc, err := EncodeSquaring(prepared, k, opts.Mode)
 	if err != nil {

@@ -10,6 +10,7 @@ package circuits
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"math/rand"
 
 	"repro/internal/aig"
@@ -91,6 +92,50 @@ func LFSR(n int, taps uint64, target uint64) *model.System {
 	}
 	g.AddOutput("bad", g.EqConst(state, target))
 	return model.New(fmt.Sprintf("lfsr%d-t%d", n, target), g, 0)
+}
+
+// DeepCounter is the deep-bug counter family: a free-running counter
+// wide enough that its shortest counterexample sits at exactly depth —
+// the regime (depth 500–4096 in the E11 workload) where k → k+1
+// deepening needs one solver invocation per bound and a geometric or
+// squaring schedule needs O(log depth).
+func DeepCounter(depth uint64) *model.System {
+	n := mathbits.Len64(depth) + 1
+	return Counter(n, depth)
+}
+
+// DeepLFSR is the deep-bug LFSR family: the bad target is the register
+// value reached after exactly depth steps from the seed, verified by
+// simulation to be the state's *first* occurrence, so the shortest
+// counterexample depth is exactly depth. Panics when the register's
+// orbit revisits the target earlier (the family would be mislabeled) —
+// pick a wider register or different taps.
+func DeepLFSR(n int, taps uint64, depth int) *model.System {
+	probe := LFSR(n, taps, 0)
+	e := aig.NewEvaluator(probe.Circ)
+	state, _ := aig.InitialStates(probe.Circ)
+	pack := func(s []bool) uint64 {
+		var v uint64
+		for i, b := range s {
+			if b {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	firstSeen := map[uint64]int{pack(state): 0}
+	target := pack(state)
+	for i := 1; i <= depth; i++ {
+		state, _ = e.StepBool(nil, state)
+		target = pack(state)
+		if _, ok := firstSeen[target]; !ok {
+			firstSeen[target] = i
+		}
+	}
+	if first := firstSeen[target]; first != depth {
+		panic(fmt.Sprintf("circuits: DeepLFSR(%d, %#x, %d): target state first occurs at step %d; widen the register or change the taps", n, taps, depth, first))
+	}
+	return LFSR(n, taps, target)
 }
 
 // GrayCounter is an n-bit Gray-code counter (binary core with Gray

@@ -58,6 +58,39 @@ func TestLFSRDeterministicOrbit(t *testing.T) {
 	}
 }
 
+func TestDeepCounterDepth(t *testing.T) {
+	// The register is sized to the depth: the planted bug is the
+	// oracle's exact shortest counterexample.
+	for _, d := range []uint64{8, 64, 512} {
+		if got := shortest(t, DeepCounter(d)); got != int(d) {
+			t.Fatalf("deep counter(%d) cex at %d, want %d", d, got, d)
+		}
+	}
+}
+
+func TestDeepLFSRDepth(t *testing.T) {
+	// The full-period 12-bit taps: the target state first occurs at
+	// exactly the requested depth (DeepLFSR verifies this by simulation
+	// at construction; the oracle confirms it end to end).
+	for _, d := range []int{100, 512} {
+		if got := shortest(t, DeepLFSR(12, 0x1053, d)); got != d {
+			t.Fatalf("deep lfsr(%d) cex at %d, want %d", d, got, d)
+		}
+	}
+}
+
+func TestDeepLFSRRejectsShortOrbit(t *testing.T) {
+	// The (10, 0x204) taps revisit the seed after 73 steps, so a
+	// depth-100 bug cannot exist there — construction must panic rather
+	// than silently plant a shallower bug.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DeepLFSR accepted a depth beyond the taps' orbit")
+		}
+	}()
+	DeepLFSR(10, 0x204, 100)
+}
+
 func TestGrayCounterAdjacency(t *testing.T) {
 	// Gray code of 9 is reached at step 9.
 	if got := shortest(t, GrayCounter(4, 9^(9>>1))); got != 9 {

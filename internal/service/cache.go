@@ -21,6 +21,7 @@ type verdictKey struct {
 	Bound  int
 	Engine sebmc.Engine
 	Sem    sebmc.Semantics
+	Sched  sebmc.Schedule
 	Deepen bool
 	PG     bool
 }
@@ -34,6 +35,7 @@ type verdict struct {
 	Witness          string
 	WitnessValidated bool
 	Iterations       int
+	BoundsSkipped    int
 	Conflicts        int64
 	PeakBytes        int
 	Bound            int
@@ -47,6 +49,7 @@ func newVerdict(res *JobResult) verdict {
 		Witness:          res.Witness,
 		WitnessValidated: res.WitnessValidated,
 		Iterations:       res.Iterations,
+		BoundsSkipped:    res.BoundsSkipped,
 		Conflicts:        res.Conflicts,
 		PeakBytes:        res.PeakBytes,
 		Bound:            res.Bound,
@@ -63,6 +66,7 @@ func (v verdict) result() *JobResult {
 		Witness:          v.Witness,
 		WitnessValidated: v.WitnessValidated,
 		Iterations:       v.Iterations,
+		BoundsSkipped:    v.BoundsSkipped,
 		Conflicts:        v.Conflicts,
 		PeakBytes:        v.PeakBytes,
 	}

@@ -28,6 +28,12 @@ type metrics struct {
 	sessionHits   atomic.Int64
 	sessionMisses atomic.Int64
 
+	// deepenBoundsSkipped totals the bounds deepen runs decided without
+	// their own solver invocation (geometric coverage jumps plus warm
+	// proven-prefix reuse). Fresh computes only — cache hits re-serve the
+	// recorded number without saving any new work.
+	deepenBoundsSkipped atomic.Int64
+
 	peakSolverBytes atomic.Int64
 
 	mu        sync.Mutex
@@ -90,8 +96,12 @@ type MetricsSnapshot struct {
 		Budget int   `json:"budget_bytes"`
 	} `json:"sessions"`
 
-	DecidedBy       map[string]int64 `json:"decided_by"`
-	PeakSolverBytes int64            `json:"peak_solver_bytes"`
+	DecidedBy map[string]int64 `json:"decided_by"`
+	// DeepenBoundsSkipped: bounds answered without their own solver
+	// invocation across all fresh deepen runs (schedule jumps + warm
+	// proven prefixes).
+	DeepenBoundsSkipped int64 `json:"deepen_bounds_skipped"`
+	PeakSolverBytes     int64 `json:"peak_solver_bytes"`
 }
 
 // Metrics snapshots the server's counters.
@@ -127,6 +137,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		out.DecidedBy[k] = v
 	}
 	m.mu.Unlock()
+	out.DeepenBoundsSkipped = m.deepenBoundsSkipped.Load()
 	out.PeakSolverBytes = m.peakSolverBytes.Load()
 	return out
 }

@@ -40,6 +40,12 @@ type CheckRequest struct {
 	Semantics string `json:"semantics,omitempty"`
 	// Deepen searches bounds 0..Bound for the shortest counterexample.
 	Deepen bool `json:"deepen,omitempty"`
+	// Schedule selects the deepening bound schedule: "linear" (default)
+	// or "geometric" (k → 2k with binary-search refinement; implies
+	// at-most-k semantics for the run — the answer is the same shortest
+	// depth, in O(log Bound) solver invocations). Ignored without
+	// Deepen.
+	Schedule string `json:"schedule,omitempty"`
 	// TimeoutMS aborts the job (status UNKNOWN) after this many
 	// milliseconds of solving.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -74,10 +80,14 @@ type JobResult struct {
 	WitnessValidated bool   `json:"witness_validated"`
 	Witness          string `json:"witness,omitempty"`
 	Iterations       int    `json:"iterations,omitempty"` // deepen: bounds tried this run
-	Conflicts        int64  `json:"conflicts,omitempty"`
-	PeakBytes        int    `json:"peak_bytes,omitempty"`
-	ElapsedMS        int64  `json:"elapsed_ms"`
-	Error            string `json:"error,omitempty"`
+	// BoundsSkipped: bounds of the deepened range answered without their
+	// own solver invocation — by the geometric schedule's coverage jumps
+	// and/or a warm session's proven prefix.
+	BoundsSkipped int    `json:"bounds_skipped,omitempty"`
+	Conflicts     int64  `json:"conflicts,omitempty"`
+	PeakBytes     int    `json:"peak_bytes,omitempty"`
+	ElapsedMS     int64  `json:"elapsed_ms"`
+	Error         string `json:"error,omitempty"`
 }
 
 // job is one queue entry.
@@ -88,6 +98,7 @@ type job struct {
 	hash   string
 	engine sebmc.Engine
 	sem    sebmc.Semantics
+	sched  sebmc.Schedule
 	cancel *sebmc.CancelFlag
 	// timedOut records that the cancel flag was set by the job's own
 	// TimeoutMS budget, not by a client: /metrics reports the two
@@ -103,13 +114,16 @@ type job struct {
 
 // key is the job's verdict-cache identity: everything that determines
 // the answer, nothing that does not (budgets and witness preferences
-// stay out).
+// stay out). The schedule is part of the key even though linear and
+// geometric deepening agree on status and FoundAt: the cached verdict
+// also replays Iterations/BoundsSkipped, which are schedule-shaped.
 func (j *job) key() verdictKey {
 	return verdictKey{
 		Hash:   j.hash,
 		Bound:  j.req.Bound,
 		Engine: j.engine,
 		Sem:    j.sem,
+		Sched:  j.sched,
 		Deepen: j.req.Deepen,
 		PG:     j.req.PlaistedGreenbaum,
 	}
@@ -208,7 +222,12 @@ func fromResult(r sebmc.Result, j *job, sessionHit bool) *JobResult {
 	return out
 }
 
-// fromDeepen converts a library DeepenResult the same way.
+// fromDeepen converts a library DeepenResult the same way, computing
+// BoundsSkipped: of the bounds the run decided (0..FoundAt when
+// Reachable, 0..Bound when Unreachable), how many never got their own
+// solver invocation — covered by a geometric jump or a warm session's
+// proven prefix. Zero for a cold linear run; inconclusive runs decide
+// nothing, so they skip nothing.
 func fromDeepen(d sebmc.DeepenResult, j *job, sessionHit bool) *JobResult {
 	out := &JobResult{
 		Status:     d.Status.String(),
@@ -217,6 +236,16 @@ func fromDeepen(d sebmc.DeepenResult, j *job, sessionHit bool) *JobResult {
 		DecidedBy:  d.DecidedBy,
 		SessionHit: sessionHit,
 		Iterations: d.Iterations,
+	}
+	covered := 0
+	switch d.Status {
+	case sebmc.Reachable:
+		covered = d.FoundAt + 1
+	case sebmc.Unreachable:
+		covered = j.req.Bound + 1
+	}
+	if skipped := covered - d.Iterations; skipped > 0 {
+		out.BoundsSkipped = skipped
 	}
 	if d.Status == sebmc.Reachable {
 		noteWitness(out, d.Witness, d.System)

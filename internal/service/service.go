@@ -48,6 +48,9 @@ type Config struct {
 	// DefaultEngine answers requests that name no engine
 	// (zero value = EngineSAT; bmcd defaults to the portfolio).
 	DefaultEngine sebmc.Engine
+	// DefaultSchedule is the deepening schedule for requests that name
+	// none (zero value = linear).
+	DefaultSchedule sebmc.Schedule
 	// MaxJobs bounds the finished-job history kept for status queries
 	// (0 = 4096). Oldest finished jobs are evicted first.
 	MaxJobs int
@@ -194,6 +197,23 @@ func (s *Server) newJob(req CheckRequest) (*job, error) {
 	default:
 		return nil, fmt.Errorf("service: unknown semantics %q (want exact or atmost)", req.Semantics)
 	}
+	sched := s.cfg.DefaultSchedule
+	if req.Schedule != "" {
+		if sched, err = sebmc.ParseSchedule(req.Schedule); err != nil {
+			return nil, err
+		}
+	}
+	if !req.Deepen {
+		sched = sebmc.ScheduleLinear // schedules only shape deepen runs
+	}
+	if sched == sebmc.ScheduleGeometric {
+		// The geometric schedule is only sound under at-most-k (an
+		// Unreachable answer at 2k must cover every skipped bound ≤ 2k).
+		// Forcing it here keeps the job's cache identity honest: the
+		// answer — same shortest depth linear reports — is an at-most-k
+		// answer, and the warm session serving it is an at-most session.
+		sem = sebmc.AtMost
+	}
 	if req.Bound < 0 {
 		return nil, fmt.Errorf("service: negative bound %d", req.Bound)
 	}
@@ -203,6 +223,7 @@ func (s *Server) newJob(req CheckRequest) (*job, error) {
 		hash:   sebmc.ModelHash(sys),
 		engine: engine,
 		sem:    sem,
+		sched:  sched,
 		cancel: sebmc.NewCancelFlag(),
 		done:   make(chan struct{}),
 		state:  JobQueued,
@@ -330,6 +351,9 @@ func (s *Server) answer(j *job) *JobResult {
 func (s *Server) finishResult(j *job, res *JobResult) *JobResult {
 	if !res.Cached && res.Status != sebmc.Unknown.String() {
 		s.cache.put(j.key(), newVerdict(res))
+		// Fresh computes only: a cache hit re-serves the recorded
+		// savings without skipping any new solver work.
+		s.metrics.deepenBoundsSkipped.Add(int64(res.BoundsSkipped))
 	}
 	s.metrics.completed.Add(1)
 	s.metrics.noteDecided(res.DecidedBy)
@@ -345,6 +369,7 @@ func (s *Server) finishResult(j *job, res *JobResult) *JobResult {
 func (s *Server) solve(j *job) *JobResult {
 	opts := sebmc.Options{
 		Semantics:         j.sem,
+		Schedule:          j.sched,
 		PlaistedGreenbaum: j.req.PlaistedGreenbaum,
 	}
 	if sess, hit := s.sessions.acquire(j, opts); sess != nil {
@@ -390,6 +415,7 @@ func (s *Server) runBatch(items []*job) []*JobResult {
 			Engine: j.engine,
 			Opts: sebmc.Options{
 				Semantics:         j.sem,
+				Schedule:          j.sched,
 				PlaistedGreenbaum: j.req.PlaistedGreenbaum,
 				Timeout:           j.req.timeout(),
 				Cancel:            j.cancel,

@@ -235,6 +235,57 @@ func TestServiceSessionResume(t *testing.T) {
 	}
 }
 
+// TestServiceGeometricSchedule drives the schedule field end to end:
+// a geometric deepen answers with the same shortest depth as linear,
+// reports the bounds it skipped, keeps distinct cache entries per
+// schedule, and the skipped-bounds metric counts fresh computes only.
+func TestServiceGeometricSchedule(t *testing.T) {
+	deepMSL := "model deep\nvar c : 6 = 0;\nnext c = c + 1;\nbad c == 40;\n"
+	_, url := newTestServer(t, Config{Workers: 2})
+
+	lin := checkWait(t, url, CheckRequest{Model: deepMSL, Bound: 63, Deepen: true, Engine: "sat-incr"})
+	geo := checkWait(t, url, CheckRequest{Model: deepMSL, Bound: 63, Deepen: true, Engine: "sat-incr", Schedule: "geometric"})
+	if lin.Status != "REACHABLE" || geo.Status != "REACHABLE" || lin.FoundAt != 40 || geo.FoundAt != 40 {
+		t.Fatalf("schedules disagree: linear %s@%d, geometric %s@%d",
+			lin.Status, lin.FoundAt, geo.Status, geo.FoundAt)
+	}
+	if geo.Cached {
+		t.Fatal("geometric run hit the linear run's cache entry — schedule missing from the verdict key")
+	}
+	if geo.Iterations >= lin.Iterations {
+		t.Fatalf("geometric ran %d bounds, linear %d — no speedup at depth 40", geo.Iterations, lin.Iterations)
+	}
+	// Bounds 0..40 decided in geo.Iterations invocations: the rest were
+	// covered by doubling jumps.
+	if want := 41 - geo.Iterations; geo.BoundsSkipped != want {
+		t.Fatalf("bounds_skipped=%d, want %d (41 covered in %d invocations)",
+			geo.BoundsSkipped, want, geo.Iterations)
+	}
+
+	var m MetricsSnapshot
+	getJSON(t, url+"/metrics", &m)
+	if m.DeepenBoundsSkipped != int64(geo.BoundsSkipped) {
+		t.Fatalf("deepen_bounds_skipped=%d, want %d", m.DeepenBoundsSkipped, geo.BoundsSkipped)
+	}
+
+	// A cache hit re-serves the recorded savings without moving the
+	// metric.
+	again := checkWait(t, url, CheckRequest{Model: deepMSL, Bound: 63, Deepen: true, Engine: "sat-incr", Schedule: "geometric"})
+	if !again.Cached || again.BoundsSkipped != geo.BoundsSkipped {
+		t.Fatalf("cached geometric answer: cached=%v bounds_skipped=%d, want true/%d",
+			again.Cached, again.BoundsSkipped, geo.BoundsSkipped)
+	}
+	getJSON(t, url+"/metrics", &m)
+	if m.DeepenBoundsSkipped != int64(geo.BoundsSkipped) {
+		t.Fatalf("cache hit moved deepen_bounds_skipped to %d", m.DeepenBoundsSkipped)
+	}
+
+	// Unknown schedule names are rejected up front.
+	if code := postJSON(t, url+"/v1/check", CheckRequest{Model: deepMSL, Bound: 8, Deepen: true, Schedule: "fibonacci"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown schedule: HTTP %d, want 400", code)
+	}
+}
+
 // TestServiceCacheMixedBoundsAndSemantics submits one model across a
 // grid of bounds, semantics and engines, twice: the first pass must
 // match the explicit-state oracle, the second must be answered

@@ -23,7 +23,15 @@ type sessionKey struct {
 	Hash   string
 	Engine sebmc.Engine
 	Sem    sebmc.Semantics
-	PG     bool
+	// Sched: a Session bakes the schedule into its Options at
+	// construction (geometric forces at-most-k on the warm solver), so
+	// sessions built for different schedules are not interchangeable.
+	Sched sebmc.Schedule
+	PG    bool
+}
+
+func (j *job) sessionKey() sessionKey {
+	return sessionKey{Hash: j.hash, Engine: j.engine, Sem: j.sem, Sched: j.sched, PG: j.req.PlaistedGreenbaum}
 }
 
 type sessionEntry struct {
@@ -73,7 +81,7 @@ func (p *sessionPool) acquire(j *job, opts sebmc.Options) (*sebmc.Session, bool)
 	if p.budget < 0 || !sessionable(j.engine) {
 		return nil, false
 	}
-	key := sessionKey{Hash: j.hash, Engine: j.engine, Sem: j.sem, PG: j.req.PlaistedGreenbaum}
+	key := j.sessionKey()
 	p.mu.Lock()
 	if el, ok := p.entries[key]; ok {
 		e := el.Value.(*sessionEntry)
@@ -118,7 +126,7 @@ func (p *sessionPool) release(j *job, sess *sebmc.Session) {
 	// serialize this finished request behind any concurrent solve still
 	// running on the same session.
 	bytes := sess.MemBytesHint()
-	key := sessionKey{Hash: j.hash, Engine: j.engine, Sem: j.sem, PG: j.req.PlaistedGreenbaum}
+	key := j.sessionKey()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	el, ok := p.entries[key]

@@ -163,6 +163,47 @@ func ParseEngine(s string) (Engine, error) {
 	return 0, fmt.Errorf("sebmc: unknown engine %q", s)
 }
 
+// Schedule selects the bound schedule an iterative-deepening run
+// follows. Single bounded checks ignore it.
+type Schedule uint8
+
+// Deepening schedules.
+const (
+	// ScheduleLinear steps k → k+1: one solver invocation per bound,
+	// O(maxBound) invocations total. The default.
+	ScheduleLinear Schedule = iota
+	// ScheduleGeometric grows the bound geometrically (k → 2k by
+	// default, Options.GeometricRatio to change it) under at-most-k
+	// semantics, then binary-searches the last growth interval, so
+	// FoundAt is still the exact shortest counterexample depth in
+	// O(log maxBound) invocations. Deepen forces at-most-k semantics
+	// for it: skipping bounds is unsound under exact-k.
+	ScheduleGeometric
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleLinear:
+		return "linear"
+	case ScheduleGeometric:
+		return "geometric"
+	}
+	return "unknown"
+}
+
+// ParseSchedule converts a name ("linear", "geometric"; "" defaults to
+// linear) to a Schedule.
+func ParseSchedule(s string) (Schedule, error) {
+	switch s {
+	case "", "linear":
+		return ScheduleLinear, nil
+	case "geometric":
+		return ScheduleGeometric, nil
+	}
+	return 0, fmt.Errorf("sebmc: unknown schedule %q (want linear or geometric)", s)
+}
+
 // Options bound a check. The zero value runs unbounded with exact-k
 // semantics and the full Tseitin transformation.
 type Options struct {
@@ -190,8 +231,20 @@ type Options struct {
 	Cancel *CancelFlag
 	// PortfolioEngines selects the competitors EnginePortfolio races.
 	// Empty means DefaultPortfolio. EnginePortfolio itself is ignored in
-	// the list (a portfolio does not race portfolios).
+	// the list (a portfolio does not race portfolios). EngineQBFSquaring
+	// may be opted in as a deep-bug arm: its deepening runs follow the
+	// at-most-k squaring schedule, so when it wins a Deepen race,
+	// FoundAt is the first power-of-two bound covering the
+	// counterexample rather than the exact shortest depth.
 	PortfolioEngines []Engine
+	// Schedule selects the deepening bound schedule (Deepen, Session
+	// deepening, DeepenMany). ScheduleGeometric implies at-most-k
+	// semantics. EngineQBFSquaring ignores it and always follows its
+	// power-of-two squaring schedule.
+	Schedule Schedule
+	// GeometricRatio is ScheduleGeometric's bound-growth factor; values
+	// ≤ 1 mean the default doubling (k → 2k).
+	GeometricRatio float64
 }
 
 func (o Options) mode() tseitin.Mode {
@@ -264,6 +317,10 @@ func checkSingle(sys *System, k int, engine Engine, opts Options) Result {
 			QBF:       qbf.Options{NodeBudget: opts.NodeBudget, Deadline: opts.deadline(), Cancel: opts.Cancel},
 		})
 	case EngineQBFSquaring:
+		// SolveSquaring answers non-power-of-two bounds itself by
+		// rounding up to the next power of two under at-most-k
+		// semantics (Result.K reports the bound actually checked), so
+		// the only error left here is a negative bound.
 		r, err := bmc.SolveSquaring(sys, k, bmc.SquaringOptions{
 			Semantics: opts.Semantics,
 			Mode:      opts.mode(),
@@ -281,12 +338,20 @@ func checkSingle(sys *System, k int, engine Engine, opts Options) Result {
 type DeepenResult = bmc.DeepenResult
 
 // Deepen searches bounds 0..maxBound for the shortest counterexample
-// using the given engine. With EngineQBFSquaring the bound schedule is
-// 0,1,2,4,8,… under at-most-k semantics (the paper's self-loop trick);
-// all other engines step linearly. EngineSATIncr takes a fast path: one
-// persistent solver serves every bound, so each step encodes only the
-// newest time frame and keeps all learned clauses. EnginePortfolio
-// races whole deepening runs and keeps the first that completes.
+// using the given engine. Options.Schedule selects the bound schedule:
+// linear (k → k+1, the default) or geometric (k → 2k under at-most-k
+// semantics — forced for the run — with binary-search refinement of the
+// last doubling interval, so FoundAt is still the exact shortest depth
+// in O(log maxBound) solver invocations). With EngineQBFSquaring the
+// schedule is always 0,1,2,4,8,… under at-most-k semantics (the paper's
+// self-loop trick) and FoundAt is the first power-of-two bound covering
+// the counterexample — the squaring encoding cannot answer the
+// in-between bounds a refinement would probe. EngineSATIncr takes a
+// fast path: one persistent solver serves every bound, so each step
+// encodes only the newest time frame and keeps all learned clauses —
+// under the geometric schedule the same solver also serves the jumps
+// and the refinement probes. EnginePortfolio races whole deepening runs
+// and keeps the first that completes.
 func Deepen(sys *System, maxBound int, engine Engine, opts Options) DeepenResult {
 	if engine == EnginePortfolio {
 		return deepenPortfolio(sys, maxBound, opts)
@@ -297,15 +362,23 @@ func Deepen(sys *System, maxBound int, engine Engine, opts Options) DeepenResult
 }
 
 func deepenSingle(sys *System, maxBound int, engine Engine, opts Options) DeepenResult {
+	if engine == EngineQBFSquaring {
+		opts.Semantics = AtMost
+		check := func(m *System, k int) Result { return Check(m, k, engine, opts) }
+		return bmc.DeepenSquaring(sys, maxBound, check)
+	}
+	if opts.Schedule == ScheduleGeometric {
+		opts.Semantics = AtMost
+		if engine == EngineSATIncr {
+			return bmc.DeepenGeometricIncremental(sys, maxBound, opts.GeometricRatio, opts.incremental())
+		}
+		check := func(m *System, k int) Result { return Check(m, k, engine, opts) }
+		return bmc.DeepenGeometric(sys, maxBound, opts.GeometricRatio, check)
+	}
 	if engine == EngineSATIncr {
 		return bmc.DeepenIncremental(sys, maxBound, opts.incremental())
 	}
 	check := func(m *System, k int) Result { return Check(m, k, engine, opts) }
-	if engine == EngineQBFSquaring {
-		opts.Semantics = AtMost
-		check = func(m *System, k int) Result { return Check(m, k, engine, opts) }
-		return bmc.DeepenSquaring(sys, maxBound, check)
-	}
 	return bmc.DeepenLinear(sys, maxBound, check)
 }
 

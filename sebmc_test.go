@@ -96,6 +96,75 @@ func TestFacadeDeepen(t *testing.T) {
 	}
 }
 
+// TestFacadeDeepenGeometric: the geometric schedule reports the same
+// shortest depth as linear deepening (FoundAt 9 on the depth-9
+// counter) in fewer solver invocations, on both the monolithic and the
+// warm incremental engine.
+func TestFacadeDeepenGeometric(t *testing.T) {
+	sys, _ := sebmc.LoadMSL(counterMSL)
+	for _, engine := range []sebmc.Engine{sebmc.EngineSAT, sebmc.EngineSATIncr} {
+		d := sebmc.Deepen(sys, 16, engine, sebmc.Options{Schedule: sebmc.ScheduleGeometric})
+		if d.Status != sebmc.Reachable || d.FoundAt != 9 {
+			t.Fatalf("%v geometric deepen: %v at %d, want REACHABLE at 9", engine, d.Status, d.FoundAt)
+		}
+		// Doubling 0,1,2,4,8,16 then bisecting (8,16] at 12,10,9: nine
+		// invocations where linear needs ten.
+		if d.Iterations != 9 {
+			t.Fatalf("%v geometric deepen: %d iterations (bounds %v), want 9", engine, d.Iterations, d.BoundsTried)
+		}
+		if d.Witness == nil {
+			t.Fatalf("%v geometric deepen lost the witness", engine)
+		}
+		if err := d.Witness.Validate(d.System); err != nil {
+			t.Fatalf("%v geometric deepen witness invalid: %v", engine, err)
+		}
+		if d.DecidedBy == "" {
+			t.Fatalf("%v geometric deepen carries no engine tag", engine)
+		}
+	}
+}
+
+// TestFacadeSquaringRoundsUpNonPowerOfTwo pins the checkSingle fix: a
+// non-power-of-two bound on the squaring engine is no longer a silent
+// Unknown — it is answered at the next power of two under at-most-k
+// (the paper's self-loop trick), with Result.K reporting the bound
+// actually checked.
+func TestFacadeSquaringRoundsUpNonPowerOfTwo(t *testing.T) {
+	reach, _ := sebmc.LoadMSL("model s\nvar c : 2 = 0;\nnext c = c + 1;\nbad c == 2;\n")
+	r := sebmc.Check(reach, 3, sebmc.EngineQBFSquaring, sebmc.Options{})
+	if r.Status != sebmc.Reachable {
+		t.Fatalf("depth-2 bug at rounded-up bound: %v, want REACHABLE", r.Status)
+	}
+	if r.K != 4 {
+		t.Fatalf("rounded-up result reports K=%d, want 4", r.K)
+	}
+
+	safe, _ := sebmc.LoadMSL("model s2\nvar c : 3 = 0;\nnext c = c + 1;\nbad c == 7;\n")
+	r = sebmc.Check(safe, 3, sebmc.EngineQBFSquaring, sebmc.Options{})
+	if r.Status != sebmc.Unreachable {
+		t.Fatalf("depth-7 bug within rounded-up bound 4: %v, want UNREACHABLE", r.Status)
+	}
+	if r.K != 4 {
+		t.Fatalf("rounded-up result reports K=%d, want 4", r.K)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	for name, want := range map[string]sebmc.Schedule{
+		"":          sebmc.ScheduleLinear,
+		"linear":    sebmc.ScheduleLinear,
+		"geometric": sebmc.ScheduleGeometric,
+	} {
+		s, err := sebmc.ParseSchedule(name)
+		if err != nil || s != want {
+			t.Errorf("ParseSchedule(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := sebmc.ParseSchedule("fibonacci"); err == nil {
+		t.Errorf("unknown schedule accepted")
+	}
+}
+
 func TestFacadeAIGERRoundtrip(t *testing.T) {
 	sys := circuits.Counter(4, 9)
 	var buf bytes.Buffer

@@ -80,7 +80,15 @@ type Session struct {
 // Options.Timeout applies per request (re-armed on every Check/Deepen
 // call); Options.Cancel, when set, is the session-wide default signal,
 // overridable per call via CheckWith/DeepenWith.
+//
+// Options.ScheduleGeometric forces at-most-k semantics for the whole
+// session — the solver is prepared once, at construction, and skipping
+// bounds is unsound under exact-k — so Check answers on such a session
+// are at-most-k answers too.
 func NewSession(sys *System, engine Engine, opts Options) (*Session, error) {
+	if opts.Schedule == ScheduleGeometric {
+		opts.Semantics = AtMost
+	}
 	s := &Session{engine: engine, opts: opts, sys: sys, proven: -1}
 	s.stats.ProvenUpTo = -1
 	switch engine {
@@ -231,7 +239,10 @@ func (s *Session) CheckWith(k int, c *CancelFlag) Result {
 // Deepen searches bounds 0..maxBound for the shortest counterexample,
 // resuming from the session's proven prefix: bounds already proven
 // Unreachable by earlier requests are skipped, counted in
-// SessionStats.BoundsSaved. Equivalent to DeepenWith(maxBound, nil).
+// SessionStats.BoundsSaved. The session's Options.Schedule selects the
+// bound schedule — linear stepping or the geometric schedule with
+// binary-search refinement; both report the same FoundAt. Equivalent to
+// DeepenWith(maxBound, nil).
 func (s *Session) Deepen(maxBound int) DeepenResult { return s.DeepenWith(maxBound, nil) }
 
 // DeepenWith is Deepen with a per-request cancellation flag.
@@ -250,6 +261,19 @@ func (s *Session) DeepenWith(maxBound int, c *CancelFlag) DeepenResult {
 	}
 	s.arm(c)
 	defer s.disarm()
+	if s.opts.Schedule == ScheduleGeometric {
+		// The geometric core drives the warm engine through checkLocked,
+		// so every probe — doubling or refinement — lands on the same
+		// persistent solver, and Unreachable probes keep extending the
+		// proven prefix (the session runs at-most-k, see NewSession).
+		d := bmc.DeepenGeometricFrom(s.proven, maxBound, s.opts.GeometricRatio,
+			func(k int) Result { return s.checkLocked(k) })
+		d.DecidedBy = s.engine.String()
+		if d.Status == Unreachable {
+			d.System = s.system()
+		}
+		return d
+	}
 	for k := start; k <= maxBound; k++ {
 		res.Iterations++
 		res.BoundsTried = append(res.BoundsTried, k)

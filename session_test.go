@@ -82,6 +82,59 @@ func TestSessionDeepenResumes(t *testing.T) {
 	}
 }
 
+// TestSessionGeometricDeepenResumes: a geometric-schedule session runs
+// the doubling-plus-bisection schedule on the warm solver, and a second
+// deepen resumes from the proven prefix — the schedule starts past it
+// and the bisection never probes inside it.
+func TestSessionGeometricDeepenResumes(t *testing.T) {
+	for _, engine := range []sebmc.Engine{sebmc.EngineSATIncr, sebmc.EngineJSAT} {
+		t.Run(engine.String(), func(t *testing.T) {
+			sys := circuits.Counter(4, 9) // shortest counterexample at k=9
+			sess, err := sebmc.NewSession(sys, engine, sebmc.Options{Schedule: sebmc.ScheduleGeometric})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := sess.Deepen(6)
+			if d.Status != sebmc.Unreachable {
+				t.Fatalf("deepen to 6: got %v, want UNREACHABLE", d.Status)
+			}
+			// Geometric bounds 0,1,2,4,6 — five invocations where linear
+			// would run seven.
+			if d.Iterations != 5 {
+				t.Fatalf("geometric deepen to 6 ran %d bounds (%v), want 5", d.Iterations, d.BoundsTried)
+			}
+			if st := sess.Stats(); st.ProvenUpTo != 6 {
+				t.Fatalf("ProvenUpTo=%d after at-most deepen to 6, want 6", st.ProvenUpTo)
+			}
+			d = sess.Deepen(16)
+			if d.Status != sebmc.Reachable || d.FoundAt != 9 {
+				t.Fatalf("deepen to 16: got %v at %d, want REACHABLE at 9", d.Status, d.FoundAt)
+			}
+			// Resumed past the proven prefix: 7, 14, then bisecting (7,14]
+			// at 10, 8, 9 — five warm invocations.
+			if d.Iterations != 5 {
+				t.Fatalf("warm geometric deepen ran %d bounds (%v), want 5", d.Iterations, d.BoundsTried)
+			}
+			for _, k := range d.BoundsTried {
+				if k <= 6 {
+					t.Fatalf("warm geometric deepen probed %d inside the proven prefix (%v)", k, d.BoundsTried)
+				}
+			}
+			if d.Witness == nil {
+				t.Fatal("no witness from warm geometric deepen")
+			}
+			if err := d.Witness.Validate(d.System); err != nil {
+				t.Fatalf("warm geometric witness does not replay: %v", err)
+			}
+			// A deepen entirely inside the proven prefix stays free.
+			before := sess.Stats().BoundsRun
+			if d := sess.Deepen(5); d.Status != sebmc.Unreachable || sess.Stats().BoundsRun != before {
+				t.Fatal("deepen within the proven prefix re-solved bounds")
+			}
+		})
+	}
+}
+
 func TestSessionCheckMatchesFreshCheck(t *testing.T) {
 	for _, engine := range []sebmc.Engine{sebmc.EngineSATIncr, sebmc.EngineJSAT} {
 		t.Run(engine.String(), func(t *testing.T) {
