@@ -7,7 +7,13 @@
 //
 //	bmcd [-addr :8080] [-workers N] [-queue 64]
 //	     [-cache-mb 16] [-session-mb 64] [-engine portfolio]
-//	     [-schedule linear|geometric]
+//	     [-schedule linear|geometric] [-max-timeout-ms 0]
+//	     [-mem-high-water-mb 0] [-quarantine 3] [-quarantine-ttl 30s]
+//
+// The BMCD_FAULTPOINTS environment variable arms fault-injection sites
+// for chaos drills (e.g. "sat.propagate=panic@3"); see
+// internal/faultpoint. Production runs leave it unset: every site is
+// then a single atomic load.
 //
 // Endpoints (all JSON): POST /v1/check, POST /v1/batch,
 // GET /v1/jobs/{id}, GET /v1/results/{id}, DELETE /v1/jobs/{id},
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	sebmc "repro"
+	"repro/internal/faultpoint"
 	"repro/internal/service"
 )
 
@@ -47,8 +54,19 @@ func main() {
 		engineStr = flag.String("engine", "portfolio", "default engine for requests that name none")
 		schedStr  = flag.String("schedule", "linear", "default deepening schedule for requests that name none: linear or geometric")
 		drainWait = flag.Duration("drain-timeout", 60*time.Second, "max time to finish in-flight jobs on shutdown")
+		maxTOMS   = flag.Int("max-timeout-ms", 0, "server-side cap on per-request solving budget in ms (0 = uncapped)")
+		highWater = flag.Int("mem-high-water-mb", 0, "overload watermark in MiB over sessions+cache: shed idle sessions, then 503 (0 disables)")
+		quarN     = flag.Int("quarantine", 3, "internal errors per (model, engine) before the key is quarantined (negative disables)")
+		quarTTL   = flag.Duration("quarantine-ttl", 30*time.Second, "how long a quarantined key is rejected before a half-open probe")
 	)
 	flag.Parse()
+
+	if spec := os.Getenv("BMCD_FAULTPOINTS"); spec != "" {
+		if err := faultpoint.ArmFromEnv(spec); err != nil {
+			log.Fatalf("bmcd: BMCD_FAULTPOINTS: %v", err)
+		}
+		log.Printf("bmcd: fault injection ARMED: %s (chaos drill, not a production server)", spec)
+	}
 
 	engine, err := sebmc.ParseEngine(*engineStr)
 	if err != nil {
@@ -67,20 +85,36 @@ func main() {
 		}
 		return v << 20
 	}
+	hw := 0 // watermark: 0 already means disabled, no sentinel needed
+	if *highWater > 0 {
+		hw = *highWater << 20
+	}
 	srv := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheBytes:      mb(*cacheMB),
-		SessionBytes:    mb(*sessionMB),
-		DefaultEngine:   engine,
-		DefaultSchedule: sched,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheBytes:          mb(*cacheMB),
+		SessionBytes:        mb(*sessionMB),
+		DefaultEngine:       engine,
+		DefaultSchedule:     sched,
+		MaxTimeout:          time.Duration(*maxTOMS) * time.Millisecond,
+		MemHighWater:        hw,
+		QuarantineThreshold: *quarN,
+		QuarantineTTL:       *quarTTL,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Header/read/idle timeouts keep a slow or stalled client from
+	// pinning a connection forever; no WriteTimeout, because a wait=true
+	// check legitimately holds its response for the whole solve.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       5 * time.Minute,
+	}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

@@ -83,7 +83,12 @@ func checkPortfolio(sys *System, k int, opts Options) Result {
 		eng := eng
 		tasks[i] = portfolio.Task[Result]{
 			Name: eng.String(),
-			Run: func(c *cancel.Flag) Result {
+			// The arm runs on its own goroutine: an uncontained panic
+			// there would kill the process, not the request, so each arm
+			// recovers into an indecisive Err result (which can never win
+			// the race).
+			Run: func(c *cancel.Flag) (r Result) {
+				defer containResult(&r, k)
 				o := opts
 				o.Cancel = c
 				return Check(sys, k, eng, o)
@@ -111,7 +116,10 @@ func deepenPortfolio(sys *System, maxBound int, opts Options) DeepenResult {
 		eng := eng
 		tasks[i] = portfolio.Task[DeepenResult]{
 			Name: eng.String(),
-			Run: func(c *cancel.Flag) DeepenResult {
+			// Same containment as checkPortfolio: a panicking arm loses
+			// the race instead of killing the process.
+			Run: func(c *cancel.Flag) (d DeepenResult) {
+				defer containDeepen(&d)
 				o := opts
 				o.Cancel = c
 				return Deepen(sys, maxBound, eng, o)
@@ -145,7 +153,10 @@ type Job struct {
 // Set it: in-flight checks return Unknown within a few conflicts and
 // the remaining jobs complete immediately as Unknown.
 func CheckMany(jobs []Job, workers int) []Result {
-	return portfolio.Map(workers, jobs, func(_ int, j Job) Result {
+	return portfolio.Map(workers, jobs, func(_ int, j Job) (r Result) {
+		// Pool workers are shared goroutines: one panicking item must
+		// become that item's Err result, not the process's end.
+		defer containResult(&r, j.K)
 		return Check(j.Sys, j.K, j.Engine, j.Opts)
 	})
 }
@@ -154,7 +165,8 @@ func CheckMany(jobs []Job, workers int) []Result {
 // searches bounds 0..K with its engine, on the same work-stealing pool
 // and with the same deterministic result ordering.
 func DeepenMany(jobs []Job, workers int) []DeepenResult {
-	return portfolio.Map(workers, jobs, func(_ int, j Job) DeepenResult {
+	return portfolio.Map(workers, jobs, func(_ int, j Job) (d DeepenResult) {
+		defer containDeepen(&d)
 		return Deepen(j.Sys, j.K, j.Engine, j.Opts)
 	})
 }

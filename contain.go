@@ -1,0 +1,63 @@
+package sebmc
+
+// Crash containment: the library-level half of the service's
+// fault-isolation story. A solver panic — a real bug or an armed
+// faultpoint — must never cross a concurrency boundary (it would kill
+// the whole process from a portfolio or batch goroutine) and must never
+// leave a warm Session trusted (its solver state is arbitrary after an
+// unwound stack). This file defines the error type a recovered panic
+// becomes and the recover helpers the Session, portfolio arms, and
+// batch closures share.
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a panic recovered inside a solver or session. The
+// original panic value and the stack at recovery are retained for
+// operators; Error keeps the one-line summary.
+type PanicError struct {
+	Val   any    // the value passed to panic
+	Stack []byte // debug.Stack() at the recovery point
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("solver panic: %v", e.Val)
+}
+
+// ErrSessionPoisoned is returned (wrapped) by Session methods after a
+// request on that session panicked: the warm solver state is untrusted
+// and the session must be discarded, never reused.
+var ErrSessionPoisoned = errors.New("sebmc: session poisoned by an earlier panic")
+
+// AsPanic unwraps a PanicError from err, reporting whether err stems
+// from a recovered panic (as opposed to, say, a budget Unknown or a
+// quarantine rejection).
+func AsPanic(err error) (*PanicError, bool) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
+// stackTrace captures the goroutine stack at a recovery point.
+func stackTrace() []byte { return debug.Stack() }
+
+// containResult is the deferred recover for code paths returning a
+// Result: a panic becomes Result{Unknown, Err: *PanicError} in place.
+func containResult(res *Result, k int) {
+	if v := recover(); v != nil {
+		*res = Result{Status: Unknown, K: k, Err: &PanicError{Val: v, Stack: debug.Stack()}}
+	}
+}
+
+// containDeepen is containResult for deepening runs.
+func containDeepen(res *DeepenResult) {
+	if v := recover(); v != nil {
+		*res = DeepenResult{Status: Unknown, FoundAt: -1, Err: &PanicError{Val: v, Stack: debug.Stack()}}
+	}
+}

@@ -101,6 +101,11 @@ type Result struct {
 	// facade fills it on every check; under the portfolio engine it is
 	// the race winner.
 	DecidedBy string
+	// Err reports an internal failure (a recovered solver panic, a
+	// poisoned session) rather than a resource-budget Unknown. Status is
+	// always Unknown when Err is set: an erroring engine decides
+	// nothing.
+	Err error
 }
 
 func (r Result) String() string {

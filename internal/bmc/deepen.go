@@ -24,6 +24,10 @@ type DeepenResult struct {
 	// facade fills it on every deepening; under the portfolio engine it
 	// is the race winner.
 	DecidedBy string
+	// Err reports an internal failure (a recovered solver panic, a
+	// poisoned session) rather than a resource-budget Unknown; Status
+	// is Unknown whenever it is set.
+	Err error
 }
 
 // CheckFunc answers one bounded reachability query at bound k.
@@ -59,14 +63,21 @@ func DeepenLinear(sys *model.System, maxBound int, check CheckFunc) DeepenResult
 // implement at-most-k semantics (self-loop) so that every bound below
 // each power of two is covered, as the paper prescribes.
 //
-// The schedule never queries past maxBound: with a non-power-of-two
-// maxBound the run certifies bounds up to the largest scheduled bound
-// only (pass a power of two for full coverage). On Reachable, FoundAt
-// is the first scheduled bound whose at-most query succeeds — the
-// shortest counterexample lies in (previous bound, FoundAt]; the
-// schedule cannot refine further because the squaring encoding only
-// answers power-of-two bounds. DeepenGeometric reports exact shortest
-// depths for engines that can answer arbitrary bounds.
+// On Reachable, FoundAt is the first scheduled bound whose at-most
+// query succeeds — the shortest counterexample lies in
+// (previous bound, FoundAt]; the schedule cannot refine further because
+// the squaring encoding only answers power-of-two bounds.
+// DeepenGeometric reports exact shortest depths for engines that can
+// answer arbitrary bounds.
+//
+// A non-power-of-two maxBound leaves a gap past the largest scheduled
+// power of two. The loop closes it with one extra at-most query at
+// maxBound itself, which the squaring engine answers at the next power
+// of two up: Unreachable there covers every bound ≤ maxBound and the
+// run soundly reports Unreachable, but Reachable there only places the
+// counterexample somewhere ≤ the rounded bound — possibly past
+// maxBound — so the run reports Unknown rather than guess. Pass a
+// power-of-two maxBound to avoid the gap probe entirely.
 func DeepenSquaring(sys *model.System, maxBound int, check CheckFunc) DeepenResult {
 	res := DeepenResult{FoundAt: -1}
 	if maxBound < 0 {
@@ -77,12 +88,22 @@ func DeepenSquaring(sys *model.System, maxBound int, check CheckFunc) DeepenResu
 	for k := 1; k <= maxBound; k *= 2 {
 		bounds = append(bounds, k)
 	}
+	if last := bounds[len(bounds)-1]; last < maxBound {
+		bounds = append(bounds, maxBound) // gap probe, rounded up by the engine
+	}
 	for _, k := range bounds {
 		res.Iterations++
 		res.BoundsTried = append(res.BoundsTried, k)
 		r := check(sys, k)
 		switch r.Status {
 		case Reachable:
+			if k == maxBound && k&(k-1) != 0 {
+				// The gap probe ran at the next power of two: the
+				// counterexample may lie beyond maxBound, and the
+				// encoding has no bound left that could localize it.
+				res.Status = Unknown
+				return res
+			}
 			res.Status = Reachable
 			res.FoundAt = k
 			res.Witness = r.Witness

@@ -45,7 +45,10 @@ func TestDeepenSquaringMaxBoundZero(t *testing.T) {
 }
 
 // TestDeepenSquaringNeverExceedsMaxBound: a non-power-of-two limit is
-// clamped to the scheduled powers of two below it, never rounded past.
+// never queried past — the powers of two below it, then the gap probe
+// at maxBound itself (which the squaring engine internally answers at
+// the next power up; the schedule still hands it maxBound). An
+// Unreachable gap probe soundly certifies the full range.
 func TestDeepenSquaringNeverExceedsMaxBound(t *testing.T) {
 	sys := circuits.TrafficLight(2) // safe at every bound
 	var asked []int
@@ -56,7 +59,7 @@ func TestDeepenSquaringNeverExceedsMaxBound(t *testing.T) {
 	if d.Status != bmc.Unreachable {
 		t.Fatalf("safe system: %+v", d)
 	}
-	want := []int{0, 1, 2, 4}
+	want := []int{0, 1, 2, 4, 5}
 	if len(asked) != len(want) {
 		t.Fatalf("queried bounds %v, want %v", asked, want)
 	}
@@ -65,8 +68,28 @@ func TestDeepenSquaringNeverExceedsMaxBound(t *testing.T) {
 			t.Fatalf("queried bounds %v, want %v", asked, want)
 		}
 	}
-	if d.Iterations != 4 {
-		t.Fatalf("Iterations=%d, want 4", d.Iterations)
+	if d.Iterations != 5 {
+		t.Fatalf("Iterations=%d, want 5", d.Iterations)
+	}
+}
+
+// TestDeepenSquaringGapProbeSoundness is the chaos-caught regression:
+// with the shortest counterexample between the largest scheduled power
+// of two and a non-power-of-two maxBound, the run used to report a
+// blanket Unreachable without ever looking. The gap probe now sees the
+// counterexample; because the squaring engine can only answer the
+// rounded-up bound, the honest verdict is Unknown — never Unreachable,
+// never a guessed Reachable.
+func TestDeepenSquaringGapProbeSoundness(t *testing.T) {
+	sys := circuits.Counter(3, 5) // shortest counterexample depth 5
+	if got := explicit.New(sys).ShortestCounterexample(); got != 5 {
+		t.Fatalf("oracle: shortest %d, want 5", got)
+	}
+	d := bmc.DeepenSquaring(sys, 5, func(m *model.System, k int) bmc.Result {
+		return atMostCheck(m, k)
+	})
+	if d.Status != bmc.Unknown || d.FoundAt != -1 {
+		t.Fatalf("cex in the gap: %+v, want Unknown at -1", d)
 	}
 }
 

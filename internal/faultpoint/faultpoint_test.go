@@ -1,0 +1,157 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHitUnarmedIsNil(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := Hit("nowhere"); err != nil {
+			t.Fatalf("unarmed Hit returned %v", err)
+		}
+	}
+	if Hits("nowhere") != 0 {
+		t.Fatal("unarmed site counted hits")
+	}
+}
+
+func TestErrorOnNthHit(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("s", Schedule{Kind: KindError, On: 3})
+	for i := 1; i <= 5; i++ {
+		err := Hit("s")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v, want fire exactly on 3rd", i, err)
+		}
+		if err != nil {
+			var inj *Injected
+			if !errors.As(err, &inj) || inj.Site != "s" || inj.Kind != KindError {
+				t.Fatalf("hit %d: wrong injected value %#v", i, err)
+			}
+		}
+	}
+	if Hits("s") != 5 || Fires("s") != 1 {
+		t.Fatalf("hits=%d fires=%d, want 5/1", Hits("s"), Fires("s"))
+	}
+}
+
+func TestRepeatFiresFromNthOn(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("s", Schedule{Kind: KindCancel, On: 2, Repeat: true})
+	fired := 0
+	for i := 0; i < 6; i++ {
+		if Hit("s") != nil {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("repeat@2 fired %d of 6, want 5", fired)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("boom", Schedule{Kind: KindPanic})
+	defer func() {
+		v := recover()
+		inj, ok := v.(*Injected)
+		if !ok || inj.Site != "boom" || inj.Kind != KindPanic {
+			t.Fatalf("recovered %#v, want *Injected{boom, panic}", v)
+		}
+	}()
+	_ = Hit("boom")
+	t.Fatal("armed panic site did not panic")
+}
+
+func TestDelayKindSleeps(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("slow", Schedule{Kind: KindDelay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatalf("delay returned error %v", err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("delay slept only %v", el)
+	}
+}
+
+func TestConcurrentHitsRaceFree(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("hot", Schedule{Kind: KindError, On: 50, Repeat: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = Hit("hot")
+			}
+		}()
+	}
+	wg.Wait()
+	if Hits("hot") != 800 {
+		t.Fatalf("hits=%d, want 800", Hits("hot"))
+	}
+	// 800 hits, firing from the 50th on.
+	if Fires("hot") != 751 {
+		t.Fatalf("fires=%d, want 751", Fires("hot"))
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	Reset()
+	defer Reset()
+	err := ArmFromEnv("jsat.query=panic@1, service.cache.put=error@2+ ,sat.propagate=delay@10+:5ms,x=cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("armed %d sites, want 4: %+v", len(snap), snap)
+	}
+	want := map[string]string{
+		"jsat.query":        "panic@1",
+		"service.cache.put": "error@2+",
+		"sat.propagate":     "delay@10+:5ms",
+		"x":                 "cancel@1",
+	}
+	for _, s := range snap {
+		if want[s.Site] != s.Schedule {
+			t.Fatalf("site %s schedule %q, want %q", s.Site, s.Schedule, want[s.Site])
+		}
+	}
+	// The parsed schedules behave: error@2+ fires on the second hit.
+	if Hit("service.cache.put") != nil {
+		t.Fatal("error@2+ fired on first hit")
+	}
+	if Hit("service.cache.put") == nil {
+		t.Fatal("error@2+ did not fire on second hit")
+	}
+}
+
+func TestArmFromEnvRejectsBadSpecs(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, bad := range []string{
+		"noequals",
+		"s=explode@1",
+		"s=panic@0",
+		"s=panic@x",
+		"s=error@1:5ms", // only delay takes a duration
+		"=panic@1",
+	} {
+		if err := ArmFromEnv(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+		Reset()
+	}
+}

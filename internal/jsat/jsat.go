@@ -27,6 +27,7 @@ import (
 	"repro/internal/bmc"
 	"repro/internal/cancel"
 	"repro/internal/cnf"
+	"repro/internal/faultpoint"
 	"repro/internal/model"
 	"repro/internal/sat"
 	"repro/internal/tseitin"
@@ -315,6 +316,13 @@ func (s *Solver) markHopeless(state []bool, remaining int) {
 // old schedule only counted queries.
 func (s *Solver) budgetExceeded() bool {
 	if s.deadlineHit {
+		return true
+	}
+	// Fault-injection site: polled before every SAT query and frame
+	// push. A fired error/cancel latches deadlineHit, so the whole
+	// Check unwinds with Unknown exactly like an expired deadline.
+	if faultpoint.Hit("jsat.query") != nil {
+		s.deadlineHit = true
 		return true
 	}
 	if s.opts.QueryBudget > 0 && s.Stats.Queries >= s.opts.QueryBudget {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cancel"
 	"repro/internal/cnf"
+	"repro/internal/faultpoint"
 )
 
 // Result is the outcome of evaluating a QBF.
@@ -137,6 +138,13 @@ func (s *Solver) Solve() Result {
 }
 
 func (s *Solver) budgetExceeded() bool {
+	// Fault-injection site: polled once per QDPLL search node. A fired
+	// error/cancel latches deadlineHit, the same sound Unknown unwind
+	// an expired deadline takes.
+	if faultpoint.Hit("qbf.node") != nil {
+		s.deadlineHit = true
+		return true
+	}
 	if s.opts.NodeBudget > 0 && s.Stats.Nodes >= s.opts.NodeBudget {
 		return true
 	}

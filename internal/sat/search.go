@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/faultpoint"
 )
 
 // deadlineExpired polls the wall clock against the configured deadline.
@@ -70,6 +71,13 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	// its own assumptions require).
 
 	for {
+		// Fault-injection site: fires once per propagation round when
+		// armed (error/cancel behave like a cooperative cancellation —
+		// the trail is consistent, so Unknown is always a sound answer);
+		// one atomic load otherwise.
+		if faultpoint.Hit("sat.propagate") != nil {
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != crefUndef {
 			s.Stats.Conflicts++
@@ -77,6 +85,12 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
+			}
+			// Fault-injection site: once per conflict analysis. Bailing
+			// out before analyze loses the learned clause, never
+			// soundness.
+			if faultpoint.Hit("sat.analyze") != nil {
+				return Unknown
 			}
 			learnt, btLevel, lbd := s.analyze(confl)
 			s.cancelUntil(btLevel)

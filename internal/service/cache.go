@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	sebmc "repro"
+	"repro/internal/faultpoint"
 )
 
 // verdictKey identifies one answerable question.
@@ -124,6 +125,12 @@ func (c *verdictCache) put(k verdictKey, v verdict) {
 	if c.budget < 0 {
 		return
 	}
+	// Fault-injection site: the cache is an accelerator, so an injected
+	// failure degrades to not caching — the verdict is still served —
+	// while an injected panic exercises the worker's containment.
+	if err := faultpoint.Hit("service.cache.put"); err != nil {
+		return
+	}
 	sz := entryBytes(k, v)
 	if sz > c.budget {
 		return // a single oversized verdict would evict everything
@@ -157,4 +164,11 @@ func (c *verdictCache) stats() (int, int, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries), c.bytes, c.budget
+}
+
+// Bytes returns the cache's accounted retained memory.
+func (c *verdictCache) Bytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

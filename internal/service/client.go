@@ -1,0 +1,208 @@
+package service
+
+// Client is the Go client for bmcd, built to cooperate with the
+// server's overload degradation: a 503 — draining, full queue, an open
+// quarantine, the memory watermark — is retried with jittered
+// exponential backoff, and the server's live Retry-After header (queue
+// depth × job wall-clock EMA) is honored as the floor for each sleep.
+// Everything else is final on the first answer.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client talks to one bmcd base URL. The zero value plus a BaseURL is
+// usable; all fields are optional tuning.
+type Client struct {
+	BaseURL string
+	// HTTP is the underlying transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries bounds retries of 503s and transport errors per call
+	// (0 = 4; negative disables retrying).
+	MaxRetries int
+	// BaseBackoff seeds the exponential schedule (0 = 100ms). Each
+	// retry doubles the nominal delay, capped at MaxBackoff (0 = 5s),
+	// then jitters it uniformly over [0.5, 1.5) so a herd of backing-off
+	// clients does not re-arrive in lockstep. A larger server
+	// Retry-After overrides the jittered delay.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// NewClient returns a client for the given base URL
+// (e.g. "http://localhost:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+// APIError is a non-2xx answer from the server, surfaced after retries
+// are exhausted (503) or immediately (everything else).
+type APIError struct {
+	StatusCode int
+	Message    string
+	// RetryAfter is the server's parsed Retry-After, zero if absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: server answered %d: %s", e.StatusCode, e.Message)
+}
+
+// Check submits one request and blocks for its result (Wait is forced
+// on). An ERROR result is a final server answer, not a client error.
+func (c *Client) Check(ctx context.Context, req CheckRequest) (*JobResult, error) {
+	req.Wait = true
+	var st jobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/check", req, &st); err != nil {
+		return nil, err
+	}
+	if st.Result == nil {
+		return nil, fmt.Errorf("service: job %s finished without a result", st.ID)
+	}
+	return st.Result, nil
+}
+
+// Batch submits several requests at once and blocks for all results.
+func (c *Client) Batch(ctx context.Context, reqs []CheckRequest) ([]*JobResult, error) {
+	var resp BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", BatchRequest{Jobs: reqs}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	var m MetricsSnapshot
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Healthz probes liveness with a single un-retried request: a draining
+// server's 503 is the answer, not a transient to back off from.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: resp.StatusCode, Message: readMessage(resp.Body)}
+	}
+	return nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do runs one JSON round trip with the retry policy.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 4
+	}
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxb := c.MaxBackoff
+	if maxb <= 0 {
+		maxb = 5 * time.Second
+	}
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		var retryAfter time.Duration
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+		} else {
+			done, err := consume(resp, out)
+			if done {
+				return err
+			}
+			lastErr = err
+			if ae, ok := err.(*APIError); ok {
+				retryAfter = ae.RetryAfter
+			}
+		}
+		if attempt >= retries {
+			return lastErr
+		}
+		d := base << attempt
+		if d > maxb || d <= 0 { // <= 0: shift overflow on absurd attempts
+			d = maxb
+		}
+		d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+		if retryAfter > d {
+			d = retryAfter
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// consume reads one response; done=false means the caller should
+// retry (503 only).
+func consume(resp *http.Response, out any) (done bool, err error) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return true, nil
+		}
+		return true, json.NewDecoder(resp.Body).Decode(out)
+	}
+	ae := &APIError{StatusCode: resp.StatusCode, Message: readMessage(resp.Body)}
+	if s, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && s > 0 {
+		ae.RetryAfter = time.Duration(s) * time.Second
+	}
+	return resp.StatusCode != http.StatusServiceUnavailable, ae
+}
+
+// readMessage extracts the JSON error body, falling back to raw text.
+func readMessage(r io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var eb errorBody
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return string(bytes.TrimSpace(raw))
+}

@@ -53,15 +53,20 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
+// writeError writes the JSON error body; every 503 carries a live
+// Retry-After computed from queue depth and the job wall-clock EMA,
+// not a hardcoded constant — a backing-off client waits about as long
+// as the queue actually needs to drain.
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	if code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 	}
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
 func submitCode(err error) int {
-	if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) {
+	if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) ||
+		errors.Is(err, ErrQuarantined) || errors.Is(err, ErrOverloaded) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
@@ -71,7 +76,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	var req CheckRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request: %w", err))
 		return
 	}
 	if r.URL.Query().Get("wait") == "1" {
@@ -79,7 +84,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.submit(req)
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeError(w, submitCode(err), err)
 		return
 	}
 	if !req.Wait {
@@ -113,23 +118,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request: %w", err))
 		return
 	}
 	if len(req.Jobs) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("service: empty batch"))
+		s.writeError(w, http.StatusBadRequest, errors.New("service: empty batch"))
 		return
 	}
 	items := make([]*job, len(req.Jobs))
 	parent := newBatchCancel(r)
 	for i, jr := range req.Jobs {
 		if jr.Deepen != req.Jobs[0].Deepen {
-			writeError(w, http.StatusBadRequest, errors.New("service: batch mixes deepen and plain checks; split it"))
+			s.writeError(w, http.StatusBadRequest, errors.New("service: batch mixes deepen and plain checks; split it"))
 			return
 		}
 		j, err := s.newJob(jr)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch job %d: %w", i, err))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch job %d: %w", i, err))
 			return
 		}
 		j.cancel = parent
@@ -146,13 +151,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(int64(len(items)))
-		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
 		return
 	}
 	if len(s.queue)+s.batchJobs+len(items) > s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(int64(len(items)))
-		writeError(w, http.StatusServiceUnavailable, ErrQueueFull)
+		s.writeError(w, http.StatusServiceUnavailable, ErrQueueFull)
 		return
 	}
 	s.batchJobs += len(items)
@@ -183,7 +188,7 @@ func newBatchCancel(r *http.Request) *sebmc.CancelFlag {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		s.writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -192,7 +197,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		s.writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
 		return
 	}
 	if res := j.Result(); res != nil {
@@ -202,14 +207,27 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
+// cancelResponse is DELETE /v1/jobs/{id}'s body: the job status plus
+// whether the cancel arrived after the job had already finished — in
+// which case nothing was stopped and the published result stands.
+type cancelResponse struct {
+	jobStatus
+	AlreadyDone bool `json:"already_done,omitempty"`
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
+		s.writeError(w, http.StatusNotFound, errors.New("service: unknown job"))
 		return
 	}
-	j.cancel.Set()
-	writeJSON(w, http.StatusOK, j.status())
+	// Cancelling a finished job is a no-op: nothing is running to stop,
+	// the published result stands, and the client is told so.
+	done := j.Result() != nil
+	if !done {
+		j.cancel.Set()
+	}
+	writeJSON(w, http.StatusOK, cancelResponse{jobStatus: j.status(), AlreadyDone: done})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultpoint"
 )
 
 type metrics struct {
@@ -22,6 +24,27 @@ type metrics struct {
 	rejected  atomic.Int64
 	cancelled atomic.Int64
 	timedOut  atomic.Int64
+
+	// panicsRecovered counts solver panics converted into ERROR results
+	// instead of killing the process — the crash-containment headline
+	// number. internalErrors counts every ERROR result (panics
+	// included).
+	panicsRecovered atomic.Int64
+	internalErrors  atomic.Int64
+
+	// quarantineRejected counts requests answered immediately with
+	// ErrQuarantined, no worker touched.
+	quarantineRejected atomic.Int64
+
+	// Overload degradation: warm sessions shed under the memory
+	// watermark, and submissions rejected because shedding was not
+	// enough.
+	sessionsShed     atomic.Int64
+	overloadRejected atomic.Int64
+
+	// avgJobMicros is an EMA of job wall-clock, feeding the live
+	// Retry-After estimate (depth x avg / workers).
+	avgJobMicros atomic.Int64
 
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
@@ -53,6 +76,22 @@ func (m *metrics) noteDecided(engine string) {
 	m.mu.Unlock()
 }
 
+// noteElapsed folds one finished job's wall-clock into the EMA
+// (alpha = 1/8, integer arithmetic; first sample seeds it).
+func (m *metrics) noteElapsed(d time.Duration) {
+	us := d.Microseconds()
+	for {
+		cur := m.avgJobMicros.Load()
+		next := us
+		if cur > 0 {
+			next = cur + (us-cur)/8
+		}
+		if m.avgJobMicros.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
 func (m *metrics) notePeakBytes(b int64) {
 	for {
 		cur := m.peakSolverBytes.Load()
@@ -78,6 +117,37 @@ type MetricsSnapshot struct {
 	// TimedOut counts jobs stopped by their own timeout_ms budget.
 	Cancelled int64 `json:"jobs_cancelled"`
 	TimedOut  int64 `json:"jobs_timed_out"`
+
+	// PanicsRecovered counts solver panics contained into ERROR results
+	// (the process survived every one of them); InternalErrors counts
+	// all ERROR results, panics included.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	InternalErrors  int64 `json:"internal_errors"`
+
+	// Quarantine is the (model, engine) circuit-breaker state.
+	Quarantine struct {
+		OpenKeys    int   `json:"open_keys"`
+		TrackedKeys int   `json:"tracked_keys"`
+		Opened      int64 `json:"opened_total"`
+		Rejected    int64 `json:"rejected"`
+	} `json:"quarantine"`
+
+	// Overload is the degradation ladder's accounting: sessions shed
+	// under the memory watermark, submissions rejected after shedding
+	// fell short, and the live Retry-After a 503 would carry right now.
+	Overload struct {
+		MemHighWater     int   `json:"mem_high_water_bytes"`
+		SessionsShed     int64 `json:"sessions_shed"`
+		Rejected         int64 `json:"rejected"`
+		RetryAfterS      int   `json:"retry_after_s"`
+		AvgJobMS         int64 `json:"avg_job_ms"`
+		MaxTimeoutMS     int64 `json:"max_timeout_ms"`
+		RetainedBytesNow int   `json:"retained_bytes_now"`
+	} `json:"overload"`
+
+	// Faultpoints lists the armed fault-injection sites (empty in
+	// production: nothing armed).
+	Faultpoints []faultpoint.SiteStatus `json:"faultpoints,omitempty"`
 
 	Cache struct {
 		Hits    int64   `json:"hits"`
@@ -119,6 +189,22 @@ func (s *Server) Metrics() MetricsSnapshot {
 	out.Rejected = m.rejected.Load()
 	out.Cancelled = m.cancelled.Load()
 	out.TimedOut = m.timedOut.Load()
+
+	out.PanicsRecovered = m.panicsRecovered.Load()
+	out.InternalErrors = m.internalErrors.Load()
+
+	out.Quarantine.OpenKeys, out.Quarantine.TrackedKeys, out.Quarantine.Opened = s.quar.stats()
+	out.Quarantine.Rejected = m.quarantineRejected.Load()
+
+	out.Overload.MemHighWater = s.cfg.MemHighWater
+	out.Overload.SessionsShed = m.sessionsShed.Load()
+	out.Overload.Rejected = m.overloadRejected.Load()
+	out.Overload.RetryAfterS = s.retryAfterSeconds()
+	out.Overload.AvgJobMS = m.avgJobMicros.Load() / 1000
+	out.Overload.MaxTimeoutMS = s.cfg.MaxTimeout.Milliseconds()
+	out.Overload.RetainedBytesNow = s.retainedBytes()
+
+	out.Faultpoints = faultpoint.Snapshot()
 
 	out.Cache.Hits = m.cacheHits.Load()
 	out.Cache.Misses = m.cacheMisses.Load()

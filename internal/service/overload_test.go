@@ -1,0 +1,225 @@
+package service
+
+// Tests for the overload-degradation ladder: the server-side timeout
+// clamp, the memory watermark (shed idle sessions first, 503 only when
+// shedding was not enough), the cancel-after-done no-op, and the Go
+// client's backoff honoring Retry-After.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	sebmc "repro"
+)
+
+func TestServiceMaxTimeoutClamp(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, MaxTimeout: 50 * time.Millisecond})
+
+	cases := []struct {
+		reqMS int
+		want  time.Duration
+	}{
+		{reqMS: 60000, want: 50 * time.Millisecond}, // over the cap: clamped
+		{reqMS: 0, want: 50 * time.Millisecond},     // no budget at all: gets the cap
+		{reqMS: 10, want: 10 * time.Millisecond},    // under the cap: kept
+	}
+	for _, c := range cases {
+		j, err := s.newJob(CheckRequest{Model: cexMSL, Bound: 3, TimeoutMS: c.reqMS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.timeout != c.want {
+			t.Fatalf("timeout_ms=%d under a 50ms cap: effective %v, want %v", c.reqMS, j.timeout, c.want)
+		}
+	}
+
+	uncapped, _ := newTestServer(t, Config{Workers: 1})
+	j, err := uncapped.newJob(CheckRequest{Model: cexMSL, Bound: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.timeout != 0 {
+		t.Fatalf("uncapped server with no client budget: effective %v, want 0", j.timeout)
+	}
+}
+
+func TestServiceWatermarkShedsSessionsThenAdmits(t *testing.T) {
+	// A 1-byte watermark with the verdict cache disabled: any retained
+	// session trips it, and shedding that idle session always frees
+	// enough — every admission succeeds, warm state is sacrificed.
+	s, url := newTestServer(t, Config{
+		Workers:       1,
+		DefaultEngine: sebmc.EngineJSAT,
+		CacheBytes:    -1,
+		MemHighWater:  1,
+	})
+
+	r := checkWait(t, url, CheckRequest{Model: cexMSL, Bound: 5, Semantics: "atmost"})
+	if r.Status != "REACHABLE" {
+		t.Fatalf("warmup: %s (%q)", r.Status, r.Error)
+	}
+	if live, _, _ := s.sessions.stats(); live != 1 {
+		t.Fatalf("warmup must retain one session, have %d", live)
+	}
+
+	r = checkWait(t, url, CheckRequest{Model: safeMSL, Bound: 3, Semantics: "atmost"})
+	if r.Status != "UNREACHABLE" {
+		t.Fatalf("post-shed request: %s (%q)", r.Status, r.Error)
+	}
+	m := s.Metrics()
+	if m.Overload.SessionsShed < 1 {
+		t.Fatalf("sessions_shed = %d, want >= 1", m.Overload.SessionsShed)
+	}
+	if m.Overload.Rejected != 0 {
+		t.Fatalf("overload rejected = %d, want 0: shedding freed enough", m.Overload.Rejected)
+	}
+}
+
+func TestServiceWatermarkRejectsWhenSheddingFallsShort(t *testing.T) {
+	// With the cache enabled, cached verdicts cannot be shed — once the
+	// cache alone is over the 1-byte watermark, admissions must be
+	// rejected with 503 rather than grow retained memory further.
+	s, url := newTestServer(t, Config{
+		Workers:       1,
+		DefaultEngine: sebmc.EngineJSAT,
+		MemHighWater:  1,
+	})
+
+	r := checkWait(t, url, CheckRequest{Model: cexMSL, Bound: 5, Semantics: "atmost"})
+	if r.Status != "REACHABLE" {
+		t.Fatalf("warmup: %s (%q)", r.Status, r.Error)
+	}
+
+	code := postJSON(t, url+"/v1/check", CheckRequest{Model: safeMSL, Bound: 3, Wait: true}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("over-watermark submit: HTTP %d, want 503", code)
+	}
+	m := s.Metrics()
+	if m.Overload.Rejected != 1 {
+		t.Fatalf("overload rejected = %d, want 1", m.Overload.Rejected)
+	}
+	if live, _, _ := s.sessions.stats(); live != 0 {
+		t.Fatalf("rejection must still have shed the idle session first, %d live", live)
+	}
+	if m.Overload.RetainedBytesNow <= 0 {
+		t.Fatal("retained_bytes_now must report the cache bytes that forced the rejection")
+	}
+}
+
+func TestServiceCancelFinishedJobNoOp(t *testing.T) {
+	_, url := newTestServer(t, Config{Workers: 1, DefaultEngine: sebmc.EngineSAT})
+
+	var st jobStatus
+	if code := postJSON(t, url+"/v1/check", CheckRequest{Model: cexMSL, Bound: 5, Wait: true}, &st); code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	want := st.Result.Status
+
+	del := func() cancelResponse {
+		req, err := http.NewRequest(http.MethodDelete, url+"/v1/jobs/"+st.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel: HTTP %d", resp.StatusCode)
+		}
+		var cr cancelResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+
+	cr := del()
+	if !cr.AlreadyDone {
+		t.Fatal("cancel of a finished job must report already_done")
+	}
+	if cr.Result == nil || cr.Result.Status != want {
+		t.Fatalf("cancel of a finished job must leave the result standing, got %+v", cr.Result)
+	}
+	if cr2 := del(); !cr2.AlreadyDone { // idempotent
+		t.Fatal("second cancel must still report already_done")
+	}
+}
+
+func TestServiceClientBackoffHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"service: job queue full"}`))
+			return
+		}
+		_, _ = w.Write([]byte(`{"id":"job-000001","state":"done","result":{"status":"UNREACHABLE","bound":3,"found_at":-1,"elapsed_ms":1}}`))
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	start := time.Now()
+	res, err := c.Check(context.Background(), CheckRequest{Model: "m", Bound: 3})
+	if err != nil {
+		t.Fatalf("check after one 503: %v", err)
+	}
+	if res.Status != "UNREACHABLE" {
+		t.Fatalf("status %s, want UNREACHABLE", res.Status)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one 503, one retry)", calls.Load())
+	}
+	// The server's Retry-After (1s) must floor the client's own tiny
+	// backoff schedule.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("client retried after %v, must honor the 1s Retry-After", elapsed)
+	}
+}
+
+func TestServiceClientDoesNotRetryFinalAnswers(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"service: negative bound -1"}`))
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	_, err := c.Check(context.Background(), CheckRequest{Model: "m", Bound: -1})
+	ae, ok := err.(*APIError)
+	if !ok || ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want *APIError with 400, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("a 400 is final: server saw %d calls, want 1", calls.Load())
+	}
+}
+
+func TestServiceClientRetriesExhaust(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"service: draining, not accepting new jobs"}`))
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	_, err := c.Check(context.Background(), CheckRequest{Model: "m", Bound: 1})
+	ae, ok := err.(*APIError)
+	if !ok || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want the final 503 surfaced, got %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (initial + 2 retries)", calls.Load())
+	}
+}

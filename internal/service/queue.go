@@ -14,7 +14,15 @@ import (
 	"time"
 
 	sebmc "repro"
+	"repro/internal/faultpoint"
 )
+
+// StatusError is the JobResult status of a request that failed
+// internally — a recovered solver panic, a poisoned session, an
+// injected fault, a quarantined key — as opposed to UNKNOWN, which
+// means a resource budget (timeout, cancellation, conflict cap) ran
+// out. ERROR results are never cached and count toward quarantine.
+const StatusError = "ERROR"
 
 // JobState is the lifecycle phase of a submitted job.
 type JobState string
@@ -67,7 +75,7 @@ func (r CheckRequest) timeout() time.Duration {
 
 // JobResult is the outcome of one job as served over HTTP.
 type JobResult struct {
-	Status    string `json:"status"` // REACHABLE | UNREACHABLE | UNKNOWN
+	Status    string `json:"status"` // REACHABLE | UNREACHABLE | UNKNOWN | ERROR
 	Bound     int    `json:"bound"`
 	FoundAt   int    `json:"found_at"` // deepen: bound of the cex (-1 none)
 	DecidedBy string `json:"decided_by,omitempty"`
@@ -88,6 +96,20 @@ type JobResult struct {
 	PeakBytes     int    `json:"peak_bytes,omitempty"`
 	ElapsedMS     int64  `json:"elapsed_ms"`
 	Error         string `json:"error,omitempty"`
+
+	// panicked marks a result born from a recovered panic, so
+	// finishResult counts panics_recovered exactly once per recovery
+	// (server-side only, never serialized).
+	panicked bool
+}
+
+// errored reports whether the result is an internal error (the
+// quarantine-relevant failure class).
+func (r *JobResult) errored() bool { return r.Status == StatusError }
+
+// decided reports a real verdict: REACHABLE or UNREACHABLE.
+func (r *JobResult) decided() bool {
+	return r.Status == sebmc.Reachable.String() || r.Status == sebmc.Unreachable.String()
 }
 
 // job is one queue entry.
@@ -100,6 +122,10 @@ type job struct {
 	sem    sebmc.Semantics
 	sched  sebmc.Schedule
 	cancel *sebmc.CancelFlag
+	// timeout is the effective solving budget: the request's
+	// timeout_ms clamped to the server's Config.MaxTimeout — a hostile
+	// bound with no timeout cannot pin a worker forever.
+	timeout time.Duration
 	// timedOut records that the cancel flag was set by the job's own
 	// TimeoutMS budget, not by a client: /metrics reports the two
 	// separately (a timeout spike and an abandonment spike mean very
@@ -203,9 +229,27 @@ func loadModel(req CheckRequest) (*sebmc.System, error) {
 	return nil, fmt.Errorf("service: unknown model format %q (want msl or aag)", format)
 }
 
+// errorResult builds the ERROR JobResult for an internal failure,
+// tagging recovered panics so the metric counts them exactly once.
+func errorResult(j *job, err error, sessionHit bool) *JobResult {
+	_, panicked := sebmc.AsPanic(err)
+	return &JobResult{
+		Status:     StatusError,
+		Bound:      j.req.Bound,
+		FoundAt:    -1,
+		SessionHit: sessionHit,
+		Error:      err.Error(),
+		panicked:   panicked,
+	}
+}
+
 // fromResult converts a library Result, validating the witness by
-// replaying it against the encoded system.
+// replaying it against the encoded system. Results carrying an internal
+// error (a recovered panic, a poisoned session) become ERROR.
 func fromResult(r sebmc.Result, j *job, sessionHit bool) *JobResult {
+	if r.Err != nil {
+		return errorResult(j, r.Err, sessionHit)
+	}
 	out := &JobResult{
 		Status:     r.Status.String(),
 		Bound:      j.req.Bound,
@@ -229,6 +273,9 @@ func fromResult(r sebmc.Result, j *job, sessionHit bool) *JobResult {
 // proven prefix. Zero for a cold linear run; inconclusive runs decide
 // nothing, so they skip nothing.
 func fromDeepen(d sebmc.DeepenResult, j *job, sessionHit bool) *JobResult {
+	if d.Err != nil {
+		return errorResult(j, d.Err, sessionHit)
+	}
 	out := &JobResult{
 		Status:     d.Status.String(),
 		Bound:      j.req.Bound,
@@ -254,6 +301,14 @@ func fromDeepen(d sebmc.DeepenResult, j *job, sessionHit bool) *JobResult {
 }
 
 func noteWitness(out *JobResult, w *sebmc.Witness, sys *sebmc.System) {
+	// Fault-injection site: an injected failure here is
+	// indistinguishable from a broken replayer, so the verdict is
+	// withheld (ERROR) rather than served unvalidated.
+	if err := faultpoint.Hit("service.witness.validate"); err != nil {
+		out.Status = StatusError
+		out.Error = fmt.Sprintf("witness validation failed: %v", err)
+		return
+	}
 	if w == nil || sys == nil {
 		out.Error = "reachable but no witness produced"
 		return

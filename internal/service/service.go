@@ -25,10 +25,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	sebmc "repro"
+	"repro/internal/faultpoint"
 )
 
 // Config sizes the server. The zero value is usable: one worker per
@@ -54,6 +56,29 @@ type Config struct {
 	// MaxJobs bounds the finished-job history kept for status queries
 	// (0 = 4096). Oldest finished jobs are evicted first.
 	MaxJobs int
+
+	// MaxTimeout caps every request's solving budget: a client
+	// timeout_ms above it is clamped, and a request with no timeout at
+	// all gets exactly MaxTimeout — so a hostile bound can pin a worker
+	// for at most this long. 0 leaves client budgets uncapped.
+	MaxTimeout time.Duration
+
+	// MemHighWater is the overload watermark over retained memory
+	// (warm sessions + verdict cache). When an admission would find the
+	// total above it, idle sessions are shed LRU-first; if that is not
+	// enough, the submission is rejected with 503 — degrade before the
+	// process OOMs. 0 disables the watermark.
+	MemHighWater int
+
+	// QuarantineThreshold is the circuit breaker's trip count: after
+	// this many internal errors (panics, poisoned sessions) for one
+	// (model hash, engine) key, requests for it are rejected
+	// immediately until QuarantineTTL passes and a half-open probe
+	// succeeds. 0 = 3; negative disables quarantine.
+	QuarantineThreshold int
+	// QuarantineTTL is how long a quarantined key stays rejected
+	// before the breaker half-opens (0 = 30s).
+	QuarantineTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -72,13 +97,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
 	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = 3
+	}
+	if c.QuarantineTTL <= 0 {
+		c.QuarantineTTL = 30 * time.Second
+	}
 	return c
 }
 
-// Errors surfaced to submitters.
+// Errors surfaced to submitters. ErrQuarantined lives in quarantine.go.
 var (
 	ErrDraining  = errors.New("service: draining, not accepting new jobs")
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrOverloaded rejects a submission because retained memory is
+	// over the watermark and shedding idle sessions was not enough.
+	ErrOverloaded = errors.New("service: over memory watermark, shedding was not enough")
 )
 
 // Server is the checking service. Create with New, expose Handler()
@@ -88,6 +122,7 @@ type Server struct {
 	metrics  *metrics
 	cache    *verdictCache
 	sessions *sessionPool
+	quar     *quarantine
 
 	mu        sync.Mutex
 	draining  bool
@@ -109,6 +144,7 @@ func New(cfg Config) *Server {
 		metrics:  newMetrics(),
 		cache:    newVerdictCache(cfg.CacheBytes),
 		sessions: newSessionPool(cfg.SessionBytes),
+		quar:     newQuarantine(cfg.QuarantineThreshold, cfg.QuarantineTTL),
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     make(map[string]*job),
 	}
@@ -158,21 +194,87 @@ func (s *Server) submit(req CheckRequest) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.admit(j); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.metrics.rejected.Add(1)
 		return nil, ErrDraining
 	}
+	// Register first, then enqueue: a worker may start the job the
+	// instant it lands in the channel, and by then it must already have
+	// its id and be visible to status queries — the old enqueue-first
+	// order raced a fast worker against registerLocked.
+	s.registerLocked(j)
 	select {
 	case s.queue <- j:
 	default:
+		s.unregisterLocked(j)
 		s.metrics.rejected.Add(1)
 		return nil, ErrQueueFull
 	}
-	s.registerLocked(j)
 	s.metrics.submitted.Add(1)
 	return j, nil
+}
+
+// admit is the admission ladder shared by single submissions and batch
+// items: the (model, engine) circuit breaker answers known-crashy keys
+// immediately (no worker touched), then the memory watermark sheds
+// idle warm sessions LRU-first and rejects only if shedding still
+// leaves retained memory over the line.
+func (s *Server) admit(j *job) error {
+	if err := s.quar.allow(j.quarantineKey()); err != nil {
+		s.metrics.quarantineRejected.Add(1)
+		s.metrics.rejected.Add(1)
+		return err
+	}
+	// Fault-injection site: an injected error exercises the
+	// 503-with-live-Retry-After rejection path without real pressure.
+	if err := faultpoint.Hit("service.queue.admit"); err != nil {
+		s.metrics.rejected.Add(1)
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	if hw := s.cfg.MemHighWater; hw > 0 {
+		if over := s.retainedBytes() - hw; over > 0 {
+			shed, freed := s.sessions.shedIdle(over)
+			s.metrics.sessionsShed.Add(int64(shed))
+			if freed < over {
+				s.metrics.overloadRejected.Add(1)
+				s.metrics.rejected.Add(1)
+				return ErrOverloaded
+			}
+		}
+	}
+	return nil
+}
+
+// retainedBytes is the watermark's view of retained memory: warm
+// solver state plus cached verdicts — the two pools the server grows
+// on purpose.
+func (s *Server) retainedBytes() int {
+	return s.sessions.Bytes() + s.cache.Bytes()
+}
+
+// retryAfterSeconds estimates how long a rejected client should back
+// off, from live queue depth and the job wall-clock EMA: about
+// depth/workers jobs drain ahead of a retry, each taking ~avg. Clamped
+// to [1, 60].
+func (s *Server) retryAfterSeconds() int {
+	depth := int64(len(s.queue)) + 1 // the retry itself needs a slot
+	avg := s.metrics.avgJobMicros.Load()
+	if avg <= 0 {
+		avg = 50_000 // no history yet; assume 50ms jobs
+	}
+	secs := int(depth * avg / int64(s.cfg.Workers) / 1_000_000)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // newJob parses and validates a request into a runnable job (without
@@ -217,16 +319,24 @@ func (s *Server) newJob(req CheckRequest) (*job, error) {
 	if req.Bound < 0 {
 		return nil, fmt.Errorf("service: negative bound %d", req.Bound)
 	}
+	// Effective budget: the client's timeout_ms clamped to the server
+	// cap. Under a cap, a request with no timeout at all gets exactly
+	// the cap — a hostile bound cannot pin a worker forever.
+	timeout := req.timeout()
+	if max := s.cfg.MaxTimeout; max > 0 && (timeout <= 0 || timeout > max) {
+		timeout = max
+	}
 	return &job{
-		req:    req,
-		sys:    sys,
-		hash:   sebmc.ModelHash(sys),
-		engine: engine,
-		sem:    sem,
-		sched:  sched,
-		cancel: sebmc.NewCancelFlag(),
-		done:   make(chan struct{}),
-		state:  JobQueued,
+		req:     req,
+		sys:     sys,
+		hash:    sebmc.ModelHash(sys),
+		engine:  engine,
+		sem:     sem,
+		sched:   sched,
+		cancel:  sebmc.NewCancelFlag(),
+		timeout: timeout,
+		done:    make(chan struct{}),
+		state:   JobQueued,
 	}, nil
 }
 
@@ -238,6 +348,17 @@ func (s *Server) registerLocked(j *job) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictHistoryLocked()
+}
+
+// unregisterLocked rolls back a registerLocked whose enqueue failed.
+// The job is necessarily the newest entry (registration and rollback
+// happen under one lock hold), so the rollback is a tail pop. Callers
+// hold s.mu.
+func (s *Server) unregisterLocked(j *job) {
+	delete(s.jobs, j.id)
+	if n := len(s.order); n > 0 && s.order[n-1] == j.id {
+		s.order = s.order[:n-1]
+	}
 }
 
 // evictHistoryLocked drops the oldest finished jobs once the history
@@ -299,12 +420,16 @@ func (s *Server) worker() {
 }
 
 // run executes one job end to end: verdict cache, warm session or cold
-// engine, witness validation, metrics.
+// engine, witness validation, metrics. The whole answer-and-finish
+// path runs inside finishContained's recover: this is a worker
+// goroutine, so an escaped panic here would kill the process.
 func (s *Server) run(j *job) {
 	j.setState(JobRunning)
 	start := time.Now()
-	res := s.finishResult(j, s.answer(j))
-	res.ElapsedMS = time.Since(start).Milliseconds()
+	res := s.finishContained(j, func() *JobResult { return s.answer(j) })
+	elapsed := time.Since(start)
+	res.ElapsedMS = elapsed.Milliseconds()
+	s.metrics.noteElapsed(elapsed)
 	j.finish(res)
 	if res.Status == sebmc.Unknown.String() && j.cancel.Canceled() {
 		if j.timedOut.Load() {
@@ -314,6 +439,23 @@ func (s *Server) run(j *job) {
 		}
 	}
 	s.metrics.notePeakBytes(int64(s.sessions.Bytes()))
+}
+
+// finishContained is the worker-side containment boundary: it runs the
+// given answer step and finishResult under a recover, converting any
+// panic that escaped the library's own containment (witness
+// validation, the verdict cache, result conversion) into an ERROR
+// result. The recovered path re-enters finishResult so the error still
+// counts toward metrics and quarantine; ERROR results never touch the
+// cache, so it cannot re-panic the same way.
+func (s *Server) finishContained(j *job, f func() *JobResult) (res *JobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &sebmc.PanicError{Val: r, Stack: debug.Stack()}
+			res = s.finishResult(j, errorResult(j, pe, false))
+		}
+	}()
+	return s.finishResult(j, f())
 }
 
 // answer produces the job's raw result, consulting the verdict cache
@@ -330,8 +472,9 @@ func (s *Server) answer(j *job) *JobResult {
 	// Per-request timeout rides the cancellation flag, so timeout,
 	// client disconnect and explicit cancel all stop the solver the
 	// same way — and none of them poisons a warm session. The timedOut
-	// mark keeps the two apart in /metrics.
-	if d := j.req.timeout(); d > 0 {
+	// mark keeps the two apart in /metrics. j.timeout is the clamped
+	// effective budget, not the raw client ask.
+	if d := j.timeout; d > 0 {
 		t := time.AfterFunc(d, func() {
 			j.timedOut.Store(true)
 			j.cancel.Set()
@@ -342,18 +485,32 @@ func (s *Server) answer(j *job) *JobResult {
 }
 
 // finishResult is the single post-processing path every answered job —
-// single or batch item, computed or cached — goes through: fill the
-// verdict cache (decided, freshly computed answers only; UNKNOWN
-// depends on the request's budget, not the question), bump the
-// completion metrics, and strip the witness the requester did not ask
-// for. Stripping happens after caching, so the cache keeps the trace
-// for later requesters who do want it.
+// single or batch item, computed or cached — goes through: count
+// internal errors and recovered panics, fill the verdict cache (clean
+// decided, freshly computed answers only; UNKNOWN depends on the
+// request's budget, not the question, and ERROR or a failed witness
+// replay must never be replayed from cache), feed the circuit breaker,
+// bump the completion metrics, and strip the witness the requester did
+// not ask for. Stripping happens after caching, so the cache keeps the
+// trace for later requesters who do want it.
 func (s *Server) finishResult(j *job, res *JobResult) *JobResult {
-	if !res.Cached && res.Status != sebmc.Unknown.String() {
-		s.cache.put(j.key(), newVerdict(res))
-		// Fresh computes only: a cache hit re-serves the recorded
-		// savings without skipping any new solver work.
-		s.metrics.deepenBoundsSkipped.Add(int64(res.BoundsSkipped))
+	if res.errored() {
+		s.metrics.internalErrors.Add(1)
+		if res.panicked {
+			s.metrics.panicsRecovered.Add(1)
+		}
+	}
+	if !res.Cached {
+		if res.decided() && res.Error == "" {
+			s.cache.put(j.key(), newVerdict(res))
+			// Fresh computes only: a cache hit re-serves the recorded
+			// savings without skipping any new solver work.
+			s.metrics.deepenBoundsSkipped.Add(int64(res.BoundsSkipped))
+		}
+		// Only fresh outcomes teach the breaker anything: an internal
+		// error is a strike, a clean verdict clears the key, an UNKNOWN
+		// (budget ran out) is neutral.
+		s.quar.observe(j.quarantineKey(), res.errored(), res.decided())
 	}
 	s.metrics.completed.Add(1)
 	s.metrics.noteDecided(res.DecidedBy)
@@ -373,7 +530,18 @@ func (s *Server) solve(j *job) *JobResult {
 		PlaistedGreenbaum: j.req.PlaistedGreenbaum,
 	}
 	if sess, hit := s.sessions.acquire(j, opts); sess != nil {
-		defer s.sessions.release(j, sess)
+		// A session that recovered a panic is poisoned: its solver state
+		// is untrusted, so it is discarded from the pool — bytes
+		// released, never handed to another request — instead of being
+		// checked back in. Deferred so a panic unwinding through the
+		// conversion path still returns the checkout.
+		defer func() {
+			if sess.Poisoned() {
+				s.sessions.discard(j)
+			} else {
+				s.sessions.release(j, sess)
+			}
+		}()
 		if hit {
 			s.metrics.sessionHits.Add(1)
 		} else {
@@ -400,6 +568,15 @@ func (s *Server) runBatch(items []*job) []*JobResult {
 	var missIdx []int
 	var libJobs []sebmc.Job
 	for i, j := range items {
+		// Quarantined keys are answered per item — the rest of the batch
+		// still runs. The breaker is not re-taught here: a quarantine
+		// rejection is a symptom, not a new strike.
+		if err := s.quar.allow(j.quarantineKey()); err != nil {
+			s.metrics.quarantineRejected.Add(1)
+			out[i] = &JobResult{Status: StatusError, Bound: j.req.Bound, FoundAt: -1, Error: err.Error()}
+			s.metrics.completed.Add(1)
+			continue
+		}
 		if v, ok := s.cache.get(j.key()); ok {
 			s.metrics.cacheHits.Add(1)
 			res := v.result()
@@ -417,21 +594,27 @@ func (s *Server) runBatch(items []*job) []*JobResult {
 				Semantics:         j.sem,
 				Schedule:          j.sched,
 				PlaistedGreenbaum: j.req.PlaistedGreenbaum,
-				Timeout:           j.req.timeout(),
+				Timeout:           j.timeout,
 				Cancel:            j.cancel,
 			},
 		})
 	}
 	if len(libJobs) > 0 {
+		// The library pool contains solver panics itself (they come back
+		// as Result.Err); finishContained additionally guards the
+		// conversion and caching of each item, so one poisoned result
+		// cannot take down the whole batch's goroutine.
 		if items[0].req.Deepen {
 			for bi, d := range sebmc.DeepenMany(libJobs, s.cfg.Workers) {
 				i := missIdx[bi]
-				out[i] = s.finishResult(items[i], fromDeepen(d, items[i], false))
+				d := d
+				out[i] = s.finishContained(items[i], func() *JobResult { return fromDeepen(d, items[i], false) })
 			}
 		} else {
 			for bi, r := range sebmc.CheckMany(libJobs, s.cfg.Workers) {
 				i := missIdx[bi]
-				out[i] = s.finishResult(items[i], fromResult(r, items[i], false))
+				r := r
+				out[i] = s.finishContained(items[i], func() *JobResult { return fromResult(r, items[i], false) })
 			}
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	sebmc "repro"
+	"repro/internal/faultpoint"
 )
 
 type sessionKey struct {
@@ -98,13 +99,20 @@ func (p *sessionPool) acquire(j *job, opts sebmc.Options) (*sebmc.Session, bool)
 		}
 		return e.sess, true
 	}
-	// First sight: reserve the key, then build without the lock.
+	// First sight: reserve the key, then build without the lock. The
+	// deferred cleanup runs on every failed build — error return or
+	// builder panic alike — so a placeholder never outlives a build
+	// that produced no session: waiters wake to e.sess == nil and fail
+	// over to cold runs, and the key is free for the next attempt.
 	e := &sessionEntry{key: key, ready: make(chan struct{}), inUse: 1}
 	p.entries[key] = p.ll.PushFront(e)
 	p.mu.Unlock()
 
-	sess, err := sebmc.NewSession(j.sys, j.engine, opts)
-	if err != nil { // unreachable given sessionable(), but stay safe
+	built := false
+	defer func() {
+		if built {
+			return
+		}
 		p.mu.Lock()
 		if el, ok := p.entries[key]; ok && el.Value.(*sessionEntry) == e {
 			p.ll.Remove(el)
@@ -112,9 +120,20 @@ func (p *sessionPool) acquire(j *job, opts sebmc.Options) (*sebmc.Session, bool)
 		}
 		p.mu.Unlock()
 		close(e.ready)
+	}()
+
+	// Fault-injection site: a failed builder — here injected, in
+	// production an encoder bug — must leave no placeholder behind and
+	// must not take concurrent waiters down with it.
+	if err := faultpoint.Hit("service.session.build"); err != nil {
+		return nil, false
+	}
+	sess, err := sebmc.NewSession(j.sys, j.engine, opts)
+	if err != nil { // unreachable given sessionable(), but stay safe
 		return nil, false
 	}
 	e.sess = sess
+	built = true
 	close(e.ready)
 	return sess, false
 }
@@ -154,6 +173,56 @@ func (p *sessionPool) release(j *job, sess *sebmc.Session) {
 			break // everything is checked out; nothing to drop
 		}
 	}
+}
+
+// discard checks a panicked session out of the pool for good: the
+// entry is removed, its accounted bytes released, and the session is
+// never handed to another request — its solver state is untrusted
+// after an unwound stack. Concurrent holders of the same checkout get
+// fast ErrSessionPoisoned answers from the Session itself and their
+// release finds the entry already gone. Idempotent.
+func (p *sessionPool) discard(j *job) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.entries[j.sessionKey()]
+	if !ok {
+		return // already discarded or evicted
+	}
+	e := el.Value.(*sessionEntry)
+	e.inUse--
+	p.ll.Remove(el)
+	delete(p.entries, e.key)
+	p.bytes -= e.bytes
+}
+
+// shedIdle evicts idle least-recently-used sessions until at least
+// want accounted bytes are freed (or nothing idle remains), returning
+// (sessions shed, bytes freed). This is the overload ladder's middle
+// rung: under memory pressure warm state goes first, fresh work is
+// rejected only if shedding was not enough.
+func (p *sessionPool) shedIdle(want int) (shed, freed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for freed < want {
+		evicted := false
+		for el := p.ll.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*sessionEntry)
+			if e.inUse > 0 {
+				continue
+			}
+			p.ll.Remove(el)
+			delete(p.entries, e.key)
+			p.bytes -= e.bytes
+			freed += e.bytes
+			shed++
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+	return shed, freed
 }
 
 // Bytes returns the pool's accounted retained solver memory.

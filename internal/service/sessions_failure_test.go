@@ -1,0 +1,204 @@
+package service
+
+// Failure-path tests for the session pool: a failing builder must
+// leave no placeholder behind and fail its waiters over to cold runs,
+// a release after eviction/discard must be a harmless no-op, and a
+// panicking warm session must be discarded — bytes released, never
+// handed to another request.
+
+import (
+	"testing"
+	"time"
+
+	sebmc "repro"
+	"repro/internal/faultpoint"
+)
+
+func testJob(t *testing.T, src string, bound int, engine sebmc.Engine) *job {
+	t.Helper()
+	sys, err := sebmc.LoadMSL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &job{
+		req:    CheckRequest{Bound: bound},
+		sys:    sys,
+		hash:   sebmc.ModelHash(sys),
+		engine: engine,
+		sem:    sebmc.AtMost,
+		cancel: sebmc.NewCancelFlag(),
+		done:   make(chan struct{}),
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServiceSessionBuildFailureFallsBackCold(t *testing.T) {
+	defer faultpoint.Reset()
+	s, url := newTestServer(t, Config{Workers: 2, DefaultEngine: sebmc.EngineJSAT})
+	faultpoint.Arm("service.session.build", faultpoint.Schedule{Kind: faultpoint.KindError, On: 1})
+
+	// First request: the builder fails, the request falls back to a
+	// cold run and still answers correctly.
+	r := checkWait(t, url, CheckRequest{Model: cexMSL, Bound: 5, Semantics: "atmost"})
+	if r.Status != "REACHABLE" {
+		t.Fatalf("cold fallback: %s (%q)", r.Status, r.Error)
+	}
+	if r.SessionHit {
+		t.Fatal("a failed build cannot be a session hit")
+	}
+	if live, bytes, _ := s.sessions.stats(); live != 0 || bytes != 0 {
+		t.Fatalf("failed build leaked a placeholder: %d live, %d bytes", live, bytes)
+	}
+
+	// Second request (different bound, so no verdict-cache shortcut):
+	// the key is free again and the warm build succeeds.
+	r = checkWait(t, url, CheckRequest{Model: cexMSL, Bound: 6, Semantics: "atmost"})
+	if r.Status != "REACHABLE" {
+		t.Fatalf("rebuild: %s (%q)", r.Status, r.Error)
+	}
+	if live, _, _ := s.sessions.stats(); live != 1 {
+		t.Fatalf("rebuild must retain one session, have %d", live)
+	}
+}
+
+func TestServiceSessionWaiterUndoOnBuildFailure(t *testing.T) {
+	pool := newSessionPool(64 << 20)
+	j := testJob(t, cexMSL, 3, sebmc.EngineJSAT)
+	key := j.sessionKey()
+
+	// Hand-install the placeholder a builder holds mid-build, park a
+	// waiter on it, then run the builder-failure cleanup (remove the
+	// entry, wake waiters) and check the waiter falls back to cold with
+	// the accounting balanced.
+	e := &sessionEntry{key: key, ready: make(chan struct{}), inUse: 1}
+	pool.mu.Lock()
+	pool.entries[key] = pool.ll.PushFront(e)
+	pool.mu.Unlock()
+
+	type got struct {
+		sess *sebmc.Session
+		hit  bool
+	}
+	done := make(chan got)
+	go func() {
+		sess, hit := pool.acquire(j, sebmc.Options{Semantics: sebmc.AtMost})
+		done <- got{sess, hit}
+	}()
+	waitFor(t, "waiter checkout", func() bool {
+		pool.mu.Lock()
+		defer pool.mu.Unlock()
+		return e.inUse == 2
+	})
+
+	pool.mu.Lock()
+	if el, ok := pool.entries[key]; ok {
+		pool.ll.Remove(el)
+		delete(pool.entries, key)
+	}
+	pool.mu.Unlock()
+	close(e.ready)
+
+	g := <-done
+	if g.sess != nil || g.hit {
+		t.Fatalf("waiter on a failed build must get (nil, false), got (%v, %v)", g.sess, g.hit)
+	}
+	if live, bytes, _ := pool.stats(); live != 0 || bytes != 0 {
+		t.Fatalf("pool must be empty and balanced: %d live, %d bytes", live, bytes)
+	}
+	// The key is reusable: a fresh acquire builds a real session.
+	sess, hit := pool.acquire(j, sebmc.Options{Semantics: sebmc.AtMost})
+	if sess == nil || hit {
+		t.Fatalf("fresh acquire after failure: (%v, %v), want a new session miss", sess, hit)
+	}
+	pool.release(j, sess)
+}
+
+func TestServiceSessionReleaseAfterDiscard(t *testing.T) {
+	pool := newSessionPool(64 << 20)
+	j := testJob(t, cexMSL, 3, sebmc.EngineJSAT)
+
+	sess, hit := pool.acquire(j, sebmc.Options{Semantics: sebmc.AtMost})
+	if sess == nil || hit {
+		t.Fatalf("first acquire: (%v, %v)", sess, hit)
+	}
+	pool.release(j, sess) // records the session's accounted bytes
+
+	sess2, hit2 := pool.acquire(j, sebmc.Options{Semantics: sebmc.AtMost})
+	if sess2 != sess || !hit2 {
+		t.Fatal("second acquire must hit the warm session")
+	}
+	pool.discard(j) // a concurrent holder poisoned it
+	if live, bytes, _ := pool.stats(); live != 0 || bytes != 0 {
+		t.Fatalf("discard must drop the entry and its bytes: %d live, %d bytes", live, bytes)
+	}
+	// Releasing the now-evicted checkout is a no-op: no panic, no
+	// resurrected entry, no negative byte accounting.
+	pool.release(j, sess2)
+	if live, bytes, _ := pool.stats(); live != 0 || bytes != 0 {
+		t.Fatalf("release after discard must change nothing: %d live, %d bytes", live, bytes)
+	}
+	sess3, hit3 := pool.acquire(j, sebmc.Options{Semantics: sebmc.AtMost})
+	if sess3 == nil || hit3 || sess3 == sess {
+		t.Fatal("acquire after discard must build a fresh session")
+	}
+	pool.release(j, sess3)
+}
+
+func TestServiceSessionDiscardOnPanic(t *testing.T) {
+	defer faultpoint.Reset()
+	s, url := newTestServer(t, Config{
+		Workers:             1,
+		DefaultEngine:       sebmc.EngineJSAT,
+		QuarantineThreshold: -1, // isolate the discard behavior
+	})
+
+	// Warm the session honestly.
+	r := checkWait(t, url, CheckRequest{Model: cexMSL, Bound: 5, Semantics: "atmost"})
+	if r.Status != "REACHABLE" {
+		t.Fatalf("warmup: %s (%q)", r.Status, r.Error)
+	}
+	if live, _, _ := s.sessions.stats(); live != 1 {
+		t.Fatalf("warmup must retain one session, have %d", live)
+	}
+
+	// Panic inside the warm solver: the session poisons itself, the
+	// result is ERROR, and the pool discards the session.
+	faultpoint.Arm("jsat.query", faultpoint.Schedule{Kind: faultpoint.KindPanic, On: 1})
+	r = checkWait(t, url, CheckRequest{Model: cexMSL, Bound: 6, Semantics: "atmost"})
+	if r.Status != StatusError {
+		t.Fatalf("panicking warm solve: want ERROR, got %s (%q)", r.Status, r.Error)
+	}
+	if !r.SessionHit {
+		t.Fatal("the panicking solve ran on the warm session; result must say so")
+	}
+	if live, bytes, _ := s.sessions.stats(); live != 0 || bytes != 0 {
+		t.Fatalf("panicked session must be discarded with bytes released: %d live, %d bytes", live, bytes)
+	}
+	m := s.Metrics()
+	if m.PanicsRecovered != 1 || m.InternalErrors != 1 {
+		t.Fatalf("panics_recovered=%d internal_errors=%d, want 1/1", m.PanicsRecovered, m.InternalErrors)
+	}
+
+	// Disarmed, the same request rebuilds a fresh session and answers.
+	faultpoint.Reset()
+	r = checkWait(t, url, CheckRequest{Model: cexMSL, Bound: 6, Semantics: "atmost"})
+	if r.Status != "REACHABLE" {
+		t.Fatalf("post-discard rebuild: %s (%q)", r.Status, r.Error)
+	}
+	if r.SessionHit {
+		t.Fatal("the discarded session must not be reused")
+	}
+	if live, _, _ := s.sessions.stats(); live != 1 {
+		t.Fatalf("rebuild must retain one fresh session, have %d", live)
+	}
+}

@@ -346,7 +346,12 @@ type DeepenResult = bmc.DeepenResult
 // schedule is always 0,1,2,4,8,… under at-most-k semantics (the paper's
 // self-loop trick) and FoundAt is the first power-of-two bound covering
 // the counterexample — the squaring encoding cannot answer the
-// in-between bounds a refinement would probe. EngineSATIncr takes a
+// in-between bounds a refinement would probe. A non-power-of-two
+// maxBound gets one extra probe at the next power of two up, so
+// Unreachable always certifies the full 0..maxBound range; if the
+// counterexample first appears in that rounded-up probe it cannot be
+// localized relative to maxBound and the run reports Unknown (use
+// another engine for an exact answer there). EngineSATIncr takes a
 // fast path: one persistent solver serves every bound, so each step
 // encodes only the newest time frame and keeps all learned clauses —
 // under the geometric schedule the same solver also serves the jumps

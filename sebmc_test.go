@@ -149,6 +149,52 @@ func TestFacadeSquaringRoundsUpNonPowerOfTwo(t *testing.T) {
 	}
 }
 
+// TestFacadeSquaringDeepenGapProbe pins the DeepenSquaring soundness
+// fix: a non-power-of-two maxBound used to end the power-of-two
+// schedule with a blanket Unreachable that never examined the bounds
+// past the largest scheduled power — Deepen(Counter(3,5), 5) reported
+// UNREACHABLE against a depth-5 counterexample. The schedule now closes
+// the gap with one rounded-up probe: Unreachable certifies the full
+// range, and a counterexample seen only by that probe reports Unknown
+// because the encoding cannot place it relative to maxBound.
+func TestFacadeSquaringDeepenGapProbe(t *testing.T) {
+	// The probe runs at the next power of two up, where the naive QBF
+	// search can be expensive: budget it like TestFacadeDeepen does.
+	// An exhausted budget comes back Unknown, which every assertion
+	// below accepts — the one forbidden answer is the old Unreachable.
+	opts := sebmc.Options{NodeBudget: 200_000}
+
+	// Shortest counterexample 5, maxBound 5: the gap probe (at-most 8)
+	// covers it, but 5 could as well have been 6..8 — Unknown, never
+	// the old unsound Unreachable, never a guessed Reachable.
+	d := sebmc.Deepen(circuits.Counter(3, 5), 5, sebmc.EngineQBFSquaring, opts)
+	if d.Status != sebmc.Unknown || d.FoundAt != -1 {
+		t.Fatalf("cex in the gap: %v at %d, want UNKNOWN at -1", d.Status, d.FoundAt)
+	}
+	if got := len(d.BoundsTried); got != 5 || d.BoundsTried[got-1] != 5 {
+		t.Fatalf("gap probe missing from schedule: bounds %v, want [0 1 2 4 5]", d.BoundsTried)
+	}
+
+	// Counterexample at a scheduled power of two: found there exactly,
+	// the gap probe never runs.
+	small, _ := sebmc.LoadMSL("model s\nvar c : 2 = 0;\nnext c = c + 1;\nbad c == 2;\n")
+	d = sebmc.Deepen(small, 3, sebmc.EngineQBFSquaring, opts)
+	if d.Status != sebmc.Reachable || d.FoundAt != 2 {
+		t.Fatalf("cex on the schedule: %v at %d, want REACHABLE at 2", d.Status, d.FoundAt)
+	}
+
+	// No counterexample at all: the gap probe's Unreachable at the
+	// rounded-up bound (at-most 4) soundly covers all of 0..3.
+	safe, _ := sebmc.LoadMSL("model s2\nvar c : 2 = 0;\nnext c = c == 2 ? 0 : c + 1;\nbad c == 3;\n")
+	d = sebmc.Deepen(safe, 3, sebmc.EngineQBFSquaring, opts)
+	if d.Status != sebmc.Unreachable || d.FoundAt != -1 {
+		t.Fatalf("safe within the probe: %v at %d, want UNREACHABLE at -1", d.Status, d.FoundAt)
+	}
+	if got := len(d.BoundsTried); got != 4 || d.BoundsTried[got-1] != 3 {
+		t.Fatalf("safe run schedule: bounds %v, want [0 1 2 3]", d.BoundsTried)
+	}
+}
+
 func TestParseSchedule(t *testing.T) {
 	for name, want := range map[string]sebmc.Schedule{
 		"":          sebmc.ScheduleLinear,

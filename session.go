@@ -67,6 +67,11 @@ type Session struct {
 	proven int // bounds 0..proven are Unreachable; -1 = nothing proven
 	stats  SessionStats
 
+	// poisoned is set when a request on this session panicked: the
+	// solver's invariants may be arbitrarily broken mid-unwind, so no
+	// later request may touch it. Guarded by mu.
+	poisoned bool
+
 	// memHint is the retained footprint as of the last completed
 	// request, readable without the session lock: a pool accounting a
 	// finished request's bytes must not block behind a concurrent
@@ -139,9 +144,46 @@ func (s *Session) snapshotLocked() SessionStats {
 	return st
 }
 
+// Poisoned reports whether a request on this session panicked. A
+// poisoned session answers every further request with an
+// ErrSessionPoisoned result; pools must discard it, releasing its
+// accounted bytes, and build a fresh session on next demand.
+func (s *Session) Poisoned() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poisoned
+}
+
+// containLocked is the deferred recover of CheckWith: a panic anywhere
+// in the warm solver becomes a PanicError result and marks the session
+// poisoned. It runs before noteMemLocked and the unlock (LIFO), so the
+// mark is made while the lock is still held and the memory hint never
+// reads a half-unwound solver.
+func (s *Session) containLocked(res *Result, k int) {
+	if v := recover(); v != nil {
+		s.poisoned = true
+		*res = Result{Status: Unknown, K: k, DecidedBy: s.engine.String(),
+			Err: &PanicError{Val: v, Stack: stackTrace()}}
+	}
+}
+
+// containDeepenLocked is containLocked for DeepenWith.
+func (s *Session) containDeepenLocked(res *DeepenResult) {
+	if v := recover(); v != nil {
+		s.poisoned = true
+		*res = DeepenResult{Status: Unknown, FoundAt: -1, DecidedBy: s.engine.String(),
+			Err: &PanicError{Val: v, Stack: stackTrace()}}
+	}
+}
+
 // noteMemLocked refreshes the lock-free footprint hint. Callers hold
 // s.mu.
 func (s *Session) noteMemLocked() {
+	if s.poisoned {
+		// The solver may be mid-unwind; its accounting is as untrusted
+		// as the rest of it. The pool discards the session anyway.
+		return
+	}
 	if s.incr != nil {
 		s.memHint.Store(int64(s.incr.Stats().PeakBytes))
 	} else {
@@ -219,11 +261,18 @@ func (s *Session) noteLocked(k int, st Status) {
 func (s *Session) Check(k int) Result { return s.CheckWith(k, nil) }
 
 // CheckWith is Check with a per-request cancellation flag (nil falls
-// back to the session's Options.Cancel).
-func (s *Session) CheckWith(k int, c *CancelFlag) Result {
+// back to the session's Options.Cancel). A panic inside the warm solver
+// is recovered into a PanicError result and poisons the session: every
+// later request fails fast with ErrSessionPoisoned, and the pool
+// holding the session must discard it.
+func (s *Session) CheckWith(k int, c *CancelFlag) (res Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.noteMemLocked()
+	defer s.containLocked(&res, k)
+	if s.poisoned {
+		return Result{Status: Unknown, K: k, DecidedBy: s.engine.String(), Err: ErrSessionPoisoned}
+	}
 	s.stats.Checks++
 	if k <= s.proven {
 		// Already proven unreachable at this bound (for Exact, the
@@ -245,11 +294,17 @@ func (s *Session) CheckWith(k int, c *CancelFlag) Result {
 // DeepenWith(maxBound, nil).
 func (s *Session) Deepen(maxBound int) DeepenResult { return s.DeepenWith(maxBound, nil) }
 
-// DeepenWith is Deepen with a per-request cancellation flag.
-func (s *Session) DeepenWith(maxBound int, c *CancelFlag) DeepenResult {
+// DeepenWith is Deepen with a per-request cancellation flag. Panics
+// are contained the same way as CheckWith: the result carries a
+// PanicError and the session is poisoned.
+func (s *Session) DeepenWith(maxBound int, c *CancelFlag) (out DeepenResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.noteMemLocked()
+	defer s.containDeepenLocked(&out)
+	if s.poisoned {
+		return DeepenResult{Status: Unknown, FoundAt: -1, DecidedBy: s.engine.String(), Err: ErrSessionPoisoned}
+	}
 	s.stats.Checks++
 	res := DeepenResult{FoundAt: -1, DecidedBy: s.engine.String()}
 	start := s.proven + 1
