@@ -9,6 +9,18 @@
 //	     [-cache-mb 16] [-session-mb 64] [-engine portfolio]
 //	     [-schedule linear|geometric] [-max-timeout-ms 0]
 //	     [-mem-high-water-mb 0] [-quarantine 3] [-quarantine-ttl 30s]
+//	     [-cluster-self URL -cluster-shards URL,URL,...]
+//	     [-cluster-mode proxy|redirect] [-gossip-interval 1s]
+//
+// Cluster mode: give every shard the same -cluster-shards list (its own
+// advertised URL included) and its own -cluster-self. Each model then
+// has exactly one owning shard (rendezvous hashing on the model's
+// content hash); a shard receiving a request it does not own proxies it
+// to the owner (default) or answers 307 (-cluster-mode redirect), so
+// clients may talk to any shard. Shards gossip health over
+// GET /v1/cluster/health and shed traffic around draining or saturated
+// peers; a SIGTERM drain migrates warm session state to the surviving
+// shards. See the README's "Running a cluster" section.
 //
 // The BMCD_FAULTPOINTS environment variable arms fault-injection sites
 // for chaos drills (e.g. "sat.propagate=panic@3"); see
@@ -36,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +71,11 @@ func main() {
 		highWater = flag.Int("mem-high-water-mb", 0, "overload watermark in MiB over sessions+cache: shed idle sessions, then 503 (0 disables)")
 		quarN     = flag.Int("quarantine", 3, "internal errors per (model, engine) before the key is quarantined (negative disables)")
 		quarTTL   = flag.Duration("quarantine-ttl", 30*time.Second, "how long a quarantined key is rejected before a half-open probe")
+
+		clusterSelf   = flag.String("cluster-self", "", "this shard's advertised base URL (must appear in -cluster-shards); empty = standalone")
+		clusterShards = flag.String("cluster-shards", "", "comma-separated shard base URLs, this shard included; identical on every shard")
+		clusterMode   = flag.String("cluster-mode", "proxy", "how non-owned requests reach their owner: proxy or redirect")
+		gossipEvery   = flag.Duration("gossip-interval", time.Second, "peer health poll period")
 	)
 	flag.Parse()
 
@@ -101,6 +119,24 @@ func main() {
 		QuarantineThreshold: *quarN,
 		QuarantineTTL:       *quarTTL,
 	})
+
+	if *clusterShards != "" {
+		if *clusterSelf == "" {
+			log.Fatal("bmcd: -cluster-shards requires -cluster-self")
+		}
+		cc := service.ClusterConfig{
+			Self:           *clusterSelf,
+			Shards:         strings.Split(*clusterShards, ","),
+			Mode:           *clusterMode,
+			GossipInterval: *gossipEvery,
+		}
+		if err := srv.JoinCluster(cc); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("bmcd: cluster shard %s of %d (%s mode)", *clusterSelf, len(cc.Shards), *clusterMode)
+	} else if *clusterSelf != "" {
+		log.Fatal("bmcd: -cluster-self requires -cluster-shards")
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

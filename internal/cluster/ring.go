@@ -1,0 +1,121 @@
+// Package cluster is the topology layer of a sharded bmcd deployment:
+// rendezvous (highest-random-weight) hashing that maps every model —
+// by its sebmc.ModelHash content address — to exactly one owning
+// shard, plus a gossip tracker that lets the routing layer skip shards
+// it believes are down, draining, or saturated.
+//
+// Rendezvous hashing is chosen over a token ring for its two
+// properties the service actually needs:
+//
+//   - agreement without coordination: every shard computes the same
+//     owner from nothing but the static shard list and the model hash,
+//     so there is no routing table to replicate and no split-brain on
+//     ownership;
+//   - minimal movement: when a shard joins or leaves, the only models
+//     that change owner are the ones that shard won or wins — about
+//     1/n of the keyspace — so a rolling restart does not cold-start
+//     the whole fleet's warm sessions.
+//
+// The preference order (Prefs) generalizes ownership into failover:
+// when the owner is unhealthy, traffic sheds to the next-highest
+// weight shard, deterministically, instead of scattering.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Shard is one bmcd node in the topology. ID is the stable identity
+// hashed for placement (the advertised URL, by convention): it must be
+// identical in every shard's configured list, or the shards will not
+// agree on ownership.
+type Shard struct {
+	ID  string
+	URL string
+}
+
+// Ring is an immutable rendezvous-hash view of one shard list. Build a
+// new Ring to change the topology; Ring itself is safe for concurrent
+// use.
+type Ring struct {
+	shards []Shard
+}
+
+// NewRing builds a ring over the given shards. The list must be
+// non-empty and IDs must be unique — a duplicated ID would silently
+// halve that shard's keyspace share.
+func NewRing(shards []Shard) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: empty shard list")
+	}
+	seen := make(map[string]bool, len(shards))
+	for _, sh := range shards {
+		if sh.ID == "" {
+			return nil, fmt.Errorf("cluster: shard with empty ID")
+		}
+		if seen[sh.ID] {
+			return nil, fmt.Errorf("cluster: duplicate shard ID %q", sh.ID)
+		}
+		seen[sh.ID] = true
+	}
+	return &Ring{shards: append([]Shard(nil), shards...)}, nil
+}
+
+// Len returns the number of shards in the ring.
+func (r *Ring) Len() int { return len(r.shards) }
+
+// Shards returns a copy of the shard list.
+func (r *Ring) Shards() []Shard { return append([]Shard(nil), r.shards...) }
+
+// weight is the rendezvous score of (shard, key): a 64-bit FNV-1a over
+// the shard ID and the key, separated so ("ab","c") and ("a","bc")
+// cannot collide. FNV is stable across processes and Go versions,
+// which is what makes uncoordinated agreement work.
+func weight(shardID, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(shardID))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the shard owning key: the highest rendezvous weight.
+// Every shard computing Owner over the same list gets the same answer.
+func (r *Ring) Owner(key string) Shard {
+	best := r.shards[0]
+	bestW := weight(best.ID, key)
+	for _, sh := range r.shards[1:] {
+		if w := weight(sh.ID, key); w > bestW || (w == bestW && sh.ID < best.ID) {
+			best, bestW = sh, w
+		}
+	}
+	return best
+}
+
+// Prefs returns every shard in descending preference order for key:
+// Prefs(key)[0] is the owner, and each later entry is the next shard
+// the key sheds to when everything before it is unhealthy. Ties (a
+// 2^-64 event) break on ID so all shards still agree.
+func (r *Ring) Prefs(key string) []Shard {
+	type scored struct {
+		sh Shard
+		w  uint64
+	}
+	ss := make([]scored, len(r.shards))
+	for i, sh := range r.shards {
+		ss[i] = scored{sh, weight(sh.ID, key)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].w != ss[j].w {
+			return ss[i].w > ss[j].w
+		}
+		return ss[i].sh.ID < ss[j].sh.ID
+	})
+	out := make([]Shard, len(ss))
+	for i, s := range ss {
+		out[i] = s.sh
+	}
+	return out
+}

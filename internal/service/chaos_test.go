@@ -117,6 +117,123 @@ func chaosVerify(t *testing.T, req CheckRequest, code int, res *JobResult, exact
 	}
 }
 
+// TestServiceChaosClustered is the chaos storm with the router in
+// front: the same armed faultpoints and oracle differential as
+// TestServiceChaos, but every request enters through one of two
+// clustered shards, so panics, contained errors, and admission
+// rejections now happen on both sides of a proxy hop — and a bounced
+// forward must shed to a shard that still answers correctly, never
+// relay a corrupt verdict. A mid-storm drain of one shard rides along
+// (warm sessions migrate while faults are still armed), and the
+// cluster cleanup asserts the usual zero-leak settle across gossip
+// loops, proxy transports, and migration.
+func TestServiceChaosClustered(t *testing.T) {
+	defer faultpoint.Reset()
+	seed := time.Now().UnixNano()
+	t.Logf("clustered chaos seed %d (storm is randomized; reproduce by hardcoding the seed)", seed)
+
+	systems := []*sebmc.System{
+		circuits.Counter(3, 5),
+		circuits.CounterEnable(2, 2),
+		circuits.TokenRing(4),
+		circuits.TrafficLight(2),
+	}
+	srcs := make([]string, len(systems))
+	shortest := make([]int, len(systems))
+	exact := make([][]bool, len(systems))
+	for i, sys := range systems {
+		srcs[i] = aagSource(t, sys)
+		oracle := explicit.New(sys)
+		shortest[i] = oracle.ShortestCounterexample()
+		exact[i] = make([]bool, 7)
+		for k := range exact[i] {
+			exact[i][k] = oracle.ReachableExact(k)
+		}
+	}
+
+	servers, urls := newTestCluster(t, 2, ModeProxy, Config{
+		Workers:             2,
+		QueueDepth:          128,
+		QuarantineThreshold: 4,
+		QuarantineTTL:       50 * time.Millisecond,
+		MaxTimeout:          2 * time.Second,
+	})
+
+	// One-shot faults across the layers the routed path traverses.
+	// Faultpoints are process-global, so each fires on whichever shard
+	// hits the site first — entry or owner side of the proxy hop.
+	faultpoint.Arm("sat.propagate", faultpoint.Schedule{Kind: faultpoint.KindPanic, On: 41})
+	faultpoint.Arm("sat.analyze", faultpoint.Schedule{Kind: faultpoint.KindPanic, On: 7})
+	faultpoint.Arm("service.cache.put", faultpoint.Schedule{Kind: faultpoint.KindPanic, On: 5})
+	faultpoint.Arm("service.session.build", faultpoint.Schedule{Kind: faultpoint.KindError, On: 3})
+	faultpoint.Arm("service.witness.validate", faultpoint.Schedule{Kind: faultpoint.KindError, On: 9})
+	faultpoint.Arm("service.queue.admit", faultpoint.Schedule{Kind: faultpoint.KindError, On: 17})
+
+	engines := []string{"", "sat", "sat-incr"}
+	const stormRequests = 140
+	const stormWorkers = 6
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < stormWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for i := range work {
+				si := rng.Intn(len(systems))
+				req := CheckRequest{
+					Model:   srcs[si],
+					Format:  "aag",
+					Bound:   rng.Intn(7),
+					Engine:  engines[rng.Intn(len(engines))],
+					Wait:    true,
+					Witness: rng.Intn(2) == 0,
+				}
+				if rng.Intn(3) == 0 {
+					req.Deepen = true
+					if rng.Intn(2) == 0 {
+						req.Schedule = "geometric"
+					}
+				} else if rng.Intn(2) == 0 {
+					req.Semantics = "atmost"
+				}
+				var st jobStatus
+				code := postJSON(t, urls[i%2]+"/v1/check", req, &st)
+				chaosVerify(t, req, code, st.Result, exact[si], shortest[si])
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < stormRequests; i++ {
+			work <- i
+			if i == stormRequests/3 {
+				drain(t, servers[1]) // mid-storm, faults still armed
+			}
+		}
+		close(work)
+	}()
+	<-done
+	wg.Wait()
+
+	// The faults fired somewhere in the cluster and were contained
+	// there; the survivor is still healthy and serving the keyspace.
+	m0, m1 := servers[0].Metrics(), servers[1].Metrics()
+	if m0.PanicsRecovered+m1.PanicsRecovered < 1 {
+		t.Errorf("no panic recovered anywhere in the cluster (shard0 %d, shard1 %d) after a storm of armed panics",
+			m0.PanicsRecovered, m1.PanicsRecovered)
+	}
+	var hb healthBody
+	if code := getJSON(t, urls[0]+"/healthz", &hb); code != http.StatusOK || hb.Status != "ok" {
+		t.Errorf("survivor healthz after clustered chaos: HTTP %d %q", code, hb.Status)
+	}
+	t.Logf("clustered chaos: shard0 completed=%d panics=%d owned=%d shed=%d fwd_in=%d; shard1 completed=%d panics=%d migrated_out=%d",
+		m0.Completed, m0.PanicsRecovered, m0.Cluster.OwnedServed, m0.Cluster.ShedServed, m0.Cluster.ForwardedIn,
+		m1.Completed, m1.PanicsRecovered, m1.Cluster.MigratedOut)
+}
+
 func TestServiceChaos(t *testing.T) {
 	defer faultpoint.Reset()
 	seed := time.Now().UnixNano()

@@ -38,7 +38,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("GET /v1/cluster/health", s.handleClusterHealth)
+	mux.HandleFunc("POST /v1/cluster/migrate", s.handleClusterMigrate)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A clustered shard names itself on every response; a proxied
+		// answer overwrites this with the shard that actually solved it,
+		// so the header always reports where the work ran.
+		if cs := s.clusterView(); cs != nil {
+			w.Header().Set(shardHeader, cs.self.ID)
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -82,8 +92,17 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") == "1" {
 		req.Wait = true
 	}
-	j, err := s.submit(req)
+	j, err := s.newJob(req)
 	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Clustered: the model hash decides which shard runs this. routeCheck
+	// answers true when the request was proxied or redirected away.
+	if s.routeCheck(w, r, j.hash, req) {
+		return
+	}
+	if err := s.enqueue(j); err != nil {
 		s.writeError(w, submitCode(err), err)
 		return
 	}
@@ -125,40 +144,64 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: empty batch"))
 		return
 	}
-	items := make([]*job, len(req.Jobs))
-	parent := newBatchCancel(r)
-	for i, jr := range req.Jobs {
+	for _, jr := range req.Jobs {
 		if jr.Deepen != req.Jobs[0].Deepen {
 			s.writeError(w, http.StatusBadRequest, errors.New("service: batch mixes deepen and plain checks; split it"))
 			return
 		}
+	}
+	// Clustered: fan the batch out by owning shard, unless a peer
+	// already routed it here — a forwarded partition always runs
+	// locally, whatever this shard's ring says.
+	if cs := s.clusterView(); cs != nil {
+		if r.Header.Get(forwardHeader) == "" {
+			s.clusterBatch(w, r, req)
+			return
+		}
+		s.metrics.clusterForwardedIn.Add(int64(len(req.Jobs)))
+	}
+	parent := newBatchCancel(r)
+	results, err := s.localBatchReqs(req.Jobs, parent)
+	if err != nil {
+		s.writeError(w, submitCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// localBatchReqs parses a batch slice into jobs sharing one cancel
+// flag and runs it through localBatch.
+func (s *Server) localBatchReqs(reqs []CheckRequest, parent *sebmc.CancelFlag) ([]*JobResult, error) {
+	items := make([]*job, len(reqs))
+	for i, jr := range reqs {
 		j, err := s.newJob(jr)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch job %d: %w", i, err))
-			return
+			return nil, fmt.Errorf("service: batch job %d: %w", i, err)
 		}
 		j.cancel = parent
 		items[i] = j
 	}
-	// Batch items run on the library's own work-stealing pool rather
-	// than queue slots, but they are admitted against the same bound:
-	// queued singles plus in-flight batch items must fit the queue
-	// capacity, so a flood of batch posts gets 503 exactly like a
-	// flood of singles would — admitted work is never unbounded. (A
-	// single batch larger than the queue capacity is therefore always
-	// rejected; split it.)
+	return s.localBatch(items)
+}
+
+// localBatch admits and runs a parsed batch on this shard. Batch items
+// run on the library's own work-stealing pool rather than queue slots,
+// but they are admitted against the same bound: queued singles plus
+// in-flight batch items must fit the queue capacity, so a flood of
+// batch posts gets 503 exactly like a flood of singles would —
+// admitted work is never unbounded. (A single batch larger than the
+// queue capacity is therefore always rejected; split it.)
+func (s *Server) localBatch(items []*job) ([]*JobResult, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(int64(len(items)))
-		s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
-		return
+		return nil, ErrDraining
 	}
 	if len(s.queue)+s.batchJobs+len(items) > s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(int64(len(items)))
-		s.writeError(w, http.StatusServiceUnavailable, ErrQueueFull)
-		return
+		return nil, ErrQueueFull
 	}
 	s.batchJobs += len(items)
 	s.wg.Add(1)
@@ -170,7 +213,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.wg.Done()
 	}()
 	s.metrics.submitted.Add(int64(len(items)))
-	writeJSON(w, http.StatusOK, BatchResponse{Results: s.runBatch(items)})
+	return s.runBatch(items), nil
 }
 
 // newBatchCancel returns a flag that is set when the request's client

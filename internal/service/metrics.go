@@ -59,6 +59,20 @@ type metrics struct {
 
 	peakSolverBytes atomic.Int64
 
+	// Cluster routing locality: where requests landed relative to the
+	// rendezvous ring. OwnedServed are requests this shard ran as the
+	// key's owner; Proxied/Redirected went to their owner elsewhere;
+	// ForwardedIn arrived pre-routed from a peer; ShedServed ran here
+	// although a preferred shard exists (it was unhealthy or bounced).
+	clusterOwnedServed   atomic.Int64
+	clusterProxied       atomic.Int64
+	clusterRedirected    atomic.Int64
+	clusterForwardedIn   atomic.Int64
+	clusterShedServed    atomic.Int64
+	clusterMigratedOut   atomic.Int64
+	clusterMigratedIn    atomic.Int64
+	clusterMigrateFailed atomic.Int64
+
 	mu        sync.Mutex
 	decidedBy map[string]int64
 }
@@ -166,12 +180,35 @@ type MetricsSnapshot struct {
 		Budget int   `json:"budget_bytes"`
 	} `json:"sessions"`
 
+	// Cluster is present only on a clustered shard: topology plus the
+	// per-shard locality counters the smoke test and bmcload read to
+	// prove hash routing actually concentrates each model's traffic.
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
+
 	DecidedBy map[string]int64 `json:"decided_by"`
 	// DeepenBoundsSkipped: bounds answered without their own solver
 	// invocation across all fresh deepen runs (schedule jumps + warm
 	// proven prefixes).
 	DeepenBoundsSkipped int64 `json:"deepen_bounds_skipped"`
 	PeakSolverBytes     int64 `json:"peak_solver_bytes"`
+}
+
+// ClusterSnapshot is the /metrics cluster section of one shard.
+type ClusterSnapshot struct {
+	Self    string `json:"self"`
+	Shards  int    `json:"shards"`
+	Mode    string `json:"mode"`
+	PeersUp int    `json:"peers_up"`
+
+	OwnedServed int64 `json:"owned_served"`
+	Proxied     int64 `json:"proxied_out"`
+	Redirected  int64 `json:"redirected"`
+	ForwardedIn int64 `json:"forwarded_in"`
+	ShedServed  int64 `json:"shed_served"`
+
+	MigratedOut   int64 `json:"sessions_migrated_out"`
+	MigratedIn    int64 `json:"sessions_migrated_in"`
+	MigrateFailed int64 `json:"sessions_migrate_failed"`
 }
 
 // Metrics snapshots the server's counters.
@@ -216,6 +253,27 @@ func (s *Server) Metrics() MetricsSnapshot {
 	out.Sessions.Hits = m.sessionHits.Load()
 	out.Sessions.Misses = m.sessionMisses.Load()
 	out.Sessions.Live, out.Sessions.Bytes, out.Sessions.Budget = s.sessions.stats()
+
+	if cs := s.clusterView(); cs != nil {
+		peerIDs := make([]string, len(cs.peers))
+		for i, p := range cs.peers {
+			peerIDs[i] = p.ID
+		}
+		out.Cluster = &ClusterSnapshot{
+			Self:          cs.self.ID,
+			Shards:        len(cs.peers) + 1,
+			Mode:          cs.mode,
+			PeersUp:       cs.tracker.Up(peerIDs),
+			OwnedServed:   m.clusterOwnedServed.Load(),
+			Proxied:       m.clusterProxied.Load(),
+			Redirected:    m.clusterRedirected.Load(),
+			ForwardedIn:   m.clusterForwardedIn.Load(),
+			ShedServed:    m.clusterShedServed.Load(),
+			MigratedOut:   m.clusterMigratedOut.Load(),
+			MigratedIn:    m.clusterMigratedIn.Load(),
+			MigrateFailed: m.clusterMigrateFailed.Load(),
+		}
+	}
 
 	out.DecidedBy = make(map[string]int64)
 	m.mu.Lock()

@@ -1,0 +1,613 @@
+package service
+
+// Cluster mode: the routing layer that turns N independent bmcd
+// processes into one sharded service. Every shard is configured with
+// the same shard list and computes the same rendezvous-hash owner for
+// every model (internal/cluster), so a model's warm session and cached
+// verdicts live on exactly one shard no matter which shard the client
+// happened to hit:
+//
+//   - a request for a model this shard owns is served locally;
+//   - a request for a model another shard owns is proxied there (the
+//     default) or answered with a 307 redirect (-cluster-mode
+//     redirect), so the client re-posts straight to the owner;
+//   - /v1/batch is fanned out shard-aware: items are partitioned by
+//     owner, each partition is proxied to its shard, and the merged
+//     results come back in submission order;
+//   - shards poll each other's GET /v1/cluster/health on a gossip
+//     interval; a shard that is down, draining, stale or saturated is
+//     skipped and its keys shed to the next rendezvous preference —
+//     the PR-7 "degrade, don't fail" ladder generalized from "back
+//     off" to "go somewhere that can take the work";
+//   - on drain, a shard serializes each warm session's proven-prefix
+//     state and hands it to the key's next owner (POST
+//     /v1/cluster/migrate), so a rolling restart re-homes warm state
+//     instead of going cold.
+//
+// Loop safety: a forwarded request carries X-Bmcd-Forward and is
+// always served locally by the receiving shard, so disagreeing shard
+// lists can cost locality but never an infinite proxy loop.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	sebmc "repro"
+	"repro/internal/cluster"
+)
+
+// forwardHeader marks a request already routed by a peer shard: the
+// receiver serves it locally, whatever its own ring says.
+const forwardHeader = "X-Bmcd-Forward"
+
+// shardHeader names the shard that answered, on every response of a
+// clustered server — what lets a client (and the CI smoke test) see
+// where a request actually landed.
+const shardHeader = "X-Bmcd-Shard"
+
+// ClusterConfig joins a server to a sharded deployment. Every shard
+// must be configured with the same Shards list (order does not matter,
+// content does): ownership is computed independently on each shard and
+// is only coherent when the lists agree.
+type ClusterConfig struct {
+	// Self is this shard's advertised base URL; it must appear in
+	// Shards.
+	Self string
+	// Shards is the full shard list, Self included.
+	Shards []string
+	// Mode is "proxy" (default: non-owned requests are forwarded
+	// server-side) or "redirect" (non-owned /v1/check gets a 307 to the
+	// owner; batches are always proxied — their items have many
+	// owners).
+	Mode string
+	// GossipInterval is the peer health poll period (0 = 1s).
+	GossipInterval time.Duration
+}
+
+const (
+	// ModeProxy forwards non-owned requests server-side.
+	ModeProxy = "proxy"
+	// ModeRedirect answers non-owned checks with 307 to the owner.
+	ModeRedirect = "redirect"
+)
+
+// clusterState is the live routing state of a joined shard.
+type clusterState struct {
+	self     cluster.Shard
+	ring     *cluster.Ring
+	peers    []cluster.Shard // ring minus self
+	mode     string
+	interval time.Duration
+	tracker  *cluster.Tracker
+	client   *http.Client // gossip, proxy and migration transport
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// JoinCluster joins the server to a sharded deployment and starts the
+// gossip loop. Call once, before serving traffic; Drain stops the
+// gossip and migrates warm sessions to the surviving shards.
+func (s *Server) JoinCluster(cc ClusterConfig) error {
+	if len(cc.Shards) == 0 {
+		return fmt.Errorf("service: cluster with no shards")
+	}
+	shards := make([]cluster.Shard, len(cc.Shards))
+	for i, u := range cc.Shards {
+		u = strings.TrimRight(u, "/")
+		shards[i] = cluster.Shard{ID: u, URL: u}
+	}
+	ring, err := cluster.NewRing(shards)
+	if err != nil {
+		return err
+	}
+	self := strings.TrimRight(cc.Self, "/")
+	var selfShard *cluster.Shard
+	var peers []cluster.Shard
+	for i := range shards {
+		if shards[i].ID == self {
+			selfShard = &shards[i]
+		} else {
+			peers = append(peers, shards[i])
+		}
+	}
+	if selfShard == nil {
+		return fmt.Errorf("service: self %q is not in the shard list %v", cc.Self, cc.Shards)
+	}
+	mode := cc.Mode
+	if mode == "" {
+		mode = ModeProxy
+	}
+	if mode != ModeProxy && mode != ModeRedirect {
+		return fmt.Errorf("service: unknown cluster mode %q (want proxy or redirect)", cc.Mode)
+	}
+	interval := cc.GossipInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	cs := &clusterState{
+		self:     *selfShard,
+		ring:     ring,
+		peers:    peers,
+		mode:     mode,
+		interval: interval,
+		// Statuses stale after three missed polls; a failed poll or a
+		// bounced proxy demotes immediately, without waiting for TTL.
+		tracker: cluster.NewTracker(3 * interval),
+		client:  &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
+		stop:    make(chan struct{}),
+	}
+	if !s.cluster.CompareAndSwap(nil, cs) {
+		return fmt.Errorf("service: already joined a cluster")
+	}
+	cs.wg.Add(1)
+	go cs.gossipLoop(s)
+	return nil
+}
+
+// clusterStop ends the gossip loop and closes the routing transport's
+// idle connections. Idempotent.
+func (cs *clusterState) clusterStop() {
+	cs.stopOnce.Do(func() { close(cs.stop) })
+	cs.wg.Wait()
+	cs.client.CloseIdleConnections()
+}
+
+// gossipLoop polls every peer's /v1/cluster/health once per interval.
+// One poll round runs concurrently across peers and is joined before
+// the next tick is considered, so a slow peer delays gossip, never
+// stacks it.
+func (cs *clusterState) gossipLoop(s *Server) {
+	defer cs.wg.Done()
+	t := time.NewTicker(cs.interval)
+	defer t.Stop()
+	for {
+		cs.pollPeers()
+		select {
+		case <-cs.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (cs *clusterState) pollPeers() {
+	var wg sync.WaitGroup
+	for _, sh := range cs.peers {
+		wg.Add(1)
+		go func(sh cluster.Shard) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), cs.interval)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.URL+"/v1/cluster/health", nil)
+			if err != nil {
+				cs.tracker.NoteDown(sh.ID)
+				return
+			}
+			resp, err := cs.client.Do(req)
+			if err != nil {
+				cs.tracker.NoteDown(sh.ID)
+				return
+			}
+			defer drainClose(resp.Body)
+			var st cluster.Status
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+				cs.tracker.NoteDown(sh.ID)
+				return
+			}
+			cs.tracker.Note(sh.ID, st)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// clusterState returns the routing state, nil when not clustered.
+func (s *Server) clusterView() *clusterState {
+	return s.cluster.Load()
+}
+
+// clusterHealth is the gossip payload this shard advertises.
+func (s *Server) clusterHealth() cluster.Status {
+	st := cluster.Status{
+		Draining:      s.Draining(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		RetainedBytes: s.retainedBytes(),
+	}
+	if cs := s.clusterView(); cs != nil {
+		st.ID = cs.self.ID
+	}
+	st.QuarantineOpen, _, _ = s.quar.stats()
+	live, _, _ := s.sessions.stats()
+	st.Sessions = live
+	return st
+}
+
+// routeTarget picks where a request for hash should run: the first
+// healthy shard in rendezvous preference order. Returns (nil, 0) when
+// that is this shard. The int is the preference rank actually chosen —
+// rank > 0 on the local shard means the request was shed here past an
+// unhealthy owner.
+func (cs *clusterState) routeTarget(hash string, selfDraining bool) (*cluster.Shard, int) {
+	prefs := cs.ring.Prefs(hash)
+	for i := range prefs {
+		sh := &prefs[i]
+		if sh.ID == cs.self.ID {
+			if selfDraining && len(prefs) > 1 {
+				continue // drain re-homes even our own keys
+			}
+			return nil, i
+		}
+		if !cs.tracker.Healthy(sh.ID) {
+			continue
+		}
+		return sh, i
+	}
+	return nil, 0 // nobody healthy: serve locally, let admission answer
+}
+
+// routeCheck handles /v1/check routing for a clustered server. Returns
+// true when the request was fully handled remotely (proxied or
+// redirected); false when the caller should serve it locally.
+func (s *Server) routeCheck(w http.ResponseWriter, r *http.Request, hash string, req CheckRequest) bool {
+	cs := s.clusterView()
+	if cs == nil {
+		return false
+	}
+	if r.Header.Get(forwardHeader) != "" {
+		s.metrics.clusterForwardedIn.Add(1)
+		return false // a peer already routed this here; serve it
+	}
+	target, rank := cs.routeTarget(hash, s.Draining())
+	if target == nil {
+		if rank == 0 {
+			s.metrics.clusterOwnedServed.Add(1)
+		} else {
+			s.metrics.clusterShedServed.Add(1)
+		}
+		return false
+	}
+	if cs.mode == ModeRedirect {
+		loc := target.URL + r.URL.Path
+		if r.URL.RawQuery != "" {
+			loc += "?" + r.URL.RawQuery
+		}
+		w.Header().Set("Location", loc)
+		w.Header().Set(shardHeader, cs.self.ID)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		s.metrics.clusterRedirected.Add(1)
+		return true
+	}
+	// Proxy mode: walk the preference order from the chosen target on,
+	// falling back past shards that bounce; a bounced shard is demoted
+	// in the tracker immediately so the next request skips it without
+	// waiting for a gossip tick.
+	payload, err := json.Marshal(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return true
+	}
+	prefs := cs.ring.Prefs(hash)
+	for i := rank; i < len(prefs); i++ {
+		sh := prefs[i]
+		if sh.ID == cs.self.ID {
+			s.metrics.clusterShedServed.Add(1)
+			return false // our turn after all
+		}
+		if i > rank && !cs.tracker.Healthy(sh.ID) {
+			continue
+		}
+		if cs.proxy(w, r, sh, "/v1/check", payload) {
+			s.metrics.clusterProxied.Add(1)
+			return true
+		}
+		cs.tracker.NoteDown(sh.ID)
+	}
+	s.metrics.clusterShedServed.Add(1)
+	return false // every peer bounced; serve locally as the last resort
+}
+
+// proxy forwards one JSON POST to a peer and streams the answer back.
+// Returns false — without having written anything — when the peer is
+// unreachable or answers 503, so the caller can fall to the next
+// preference.
+func (cs *clusterState) proxy(w http.ResponseWriter, r *http.Request, target cluster.Shard, path string, payload []byte) bool {
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, target.URL+path, bytes.NewReader(payload))
+	if err != nil {
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardHeader, cs.self.ID)
+	resp, err := cs.client.Do(preq)
+	if err != nil {
+		return false
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// The owner cannot take it (draining, full, quarantined key):
+		// shed to the next preference instead of relaying the 503.
+		drainClose(resp.Body)
+		return false
+	}
+	defer drainClose(resp.Body)
+	for _, h := range []string{"Content-Type", "Retry-After", shardHeader} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// proxyBatch forwards a whole batch partition to its owning shard and
+// decodes the merged results.
+func (cs *clusterState) proxyBatch(ctx context.Context, target cluster.Shard, reqs []CheckRequest) ([]*JobResult, error) {
+	payload, err := json.Marshal(BatchRequest{Jobs: reqs})
+	if err != nil {
+		return nil, err
+	}
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, target.URL+"/v1/batch", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardHeader, cs.self.ID)
+	resp, err := cs.client.Do(preq)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: readMessage(resp.Body)}
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	if len(br.Results) != len(reqs) {
+		return nil, fmt.Errorf("service: shard %s answered %d results for %d batch items", target.ID, len(br.Results), len(reqs))
+	}
+	return br.Results, nil
+}
+
+// batchGroup is one owner's slice of a fanned-out batch.
+type batchGroup struct {
+	target *cluster.Shard // nil = this shard
+	idx    []int          // positions in the original batch
+	reqs   []CheckRequest
+}
+
+// clusterBatch partitions a batch by owning shard, runs the local
+// partition through the normal admission path, proxies each remote
+// partition to its owner concurrently, and merges results in
+// submission order. Any partition failing hard fails the whole batch
+// with that error (the all-or-nothing contract single-shard batches
+// already have), after one local-fallback attempt for remote
+// partitions whose owner bounced.
+func (s *Server) clusterBatch(w http.ResponseWriter, r *http.Request, req BatchRequest) {
+	cs := s.clusterView()
+	groups := make(map[string]*batchGroup)
+	order := make([]string, 0, 4) // deterministic fan-out order
+	for i, jr := range req.Jobs {
+		sys, err := loadModel(jr)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch job %d: %w", i, err))
+			return
+		}
+		target, _ := cs.routeTarget(sebmc.ModelHash(sys), s.Draining())
+		id := ""
+		if target != nil {
+			id = target.ID
+		}
+		g := groups[id]
+		if g == nil {
+			g = &batchGroup{target: target}
+			groups[id] = g
+			order = append(order, id)
+		}
+		g.idx = append(g.idx, i)
+		g.reqs = append(g.reqs, jr)
+	}
+
+	out := make([]*JobResult, len(req.Jobs))
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	parent := newBatchCancel(r)
+	for gi, id := range order {
+		g := groups[id]
+		wg.Add(1)
+		go func(gi int, g *batchGroup) {
+			defer wg.Done()
+			var results []*JobResult
+			var err error
+			if g.target != nil {
+				s.metrics.clusterProxied.Add(int64(len(g.reqs)))
+				results, err = cs.proxyBatch(r.Context(), *g.target, g.reqs)
+				if err != nil {
+					// The owner bounced: demote it and run the partition
+					// here — locality is an optimization, the answer is
+					// the contract.
+					cs.tracker.NoteDown(g.target.ID)
+					s.metrics.clusterShedServed.Add(int64(len(g.reqs)))
+					results, err = s.localBatchReqs(g.reqs, parent)
+				}
+			} else {
+				s.metrics.clusterOwnedServed.Add(int64(len(g.reqs)))
+				results, err = s.localBatchReqs(g.reqs, parent)
+			}
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			for k, res := range results {
+				out[g.idx[k]] = res
+			}
+		}(gi, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.writeError(w, submitCode(err), err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
+}
+
+// migratePayload is the POST /v1/cluster/migrate body: everything a
+// peer needs to rebuild a warm session's cheap half — the model, the
+// session identity, and the proven-unreachable prefix. Learned clauses
+// and solver internals do not serialize; the prefix is what makes a
+// deepen on the new owner resume instead of restart.
+type migratePayload struct {
+	Hash       string `json:"hash"`
+	Model      string `json:"model"` // AAG, bad literal as output 0
+	Engine     string `json:"engine"`
+	Semantics  string `json:"semantics"` // "exact" or "atmost"
+	Schedule   string `json:"schedule"`
+	PG         bool   `json:"pg,omitempty"`
+	ProvenUpTo int    `json:"proven_up_to"`
+}
+
+// migrateSessions serializes every clean warm session and hands each
+// to its key's next owner. Runs at the tail of Drain, after the
+// workers have exited — no session is in use. Best effort: a peer that
+// refuses (draining itself, down) just costs that session its warmth.
+func (s *Server) migrateSessions(ctx context.Context) {
+	cs := s.clusterView()
+	if cs == nil {
+		return
+	}
+	for _, snap := range s.sessions.snapshot() {
+		var target *cluster.Shard
+		for _, sh := range cs.ring.Prefs(snap.key.Hash) {
+			if sh.ID == cs.self.ID || !cs.tracker.Healthy(sh.ID) {
+				continue
+			}
+			sh := sh
+			target = &sh
+			break
+		}
+		if target == nil {
+			s.metrics.clusterMigrateFailed.Add(1)
+			continue
+		}
+		if err := cs.sendMigration(ctx, *target, snap); err != nil {
+			s.metrics.clusterMigrateFailed.Add(1)
+			continue
+		}
+		s.metrics.clusterMigratedOut.Add(1)
+	}
+}
+
+func (cs *clusterState) sendMigration(ctx context.Context, target cluster.Shard, snap sessionSnapshot) error {
+	var aag strings.Builder
+	// Reduce puts the bad predicate at output 0 — the service's wire
+	// convention, the same one /v1/check submissions use.
+	if err := snap.sys.Reduce().Circ.WriteAAG(&aag); err != nil {
+		return err
+	}
+	sem := "exact"
+	if snap.key.Sem == sebmc.AtMost {
+		sem = "atmost"
+	}
+	payload, err := json.Marshal(migratePayload{
+		Hash:       snap.key.Hash,
+		Model:      aag.String(),
+		Engine:     snap.key.Engine.String(),
+		Semantics:  sem,
+		Schedule:   snap.key.Sched.String(),
+		PG:         snap.key.PG,
+		ProvenUpTo: snap.proven,
+	})
+	if err != nil {
+		return err
+	}
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodPost, target.URL+"/v1/cluster/migrate", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cs.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: resp.StatusCode, Message: readMessage(resp.Body)}
+	}
+	return nil
+}
+
+// migrateResponse is the POST /v1/cluster/migrate answer.
+type migrateResponse struct {
+	// Adopted is false when the receiver already had a warm session for
+	// the key (the resident one wins) or does not pool sessions.
+	Adopted bool `json:"adopted"`
+}
+
+func (s *Server) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.clusterHealth())
+}
+
+func (s *Server) handleClusterMigrate(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	var p migratePayload
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad migration: %w", err))
+		return
+	}
+	engine, err := sebmc.ParseEngine(p.Engine)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sched, err := sebmc.ParseSchedule(p.Schedule)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sem := sebmc.Exact
+	switch p.Semantics {
+	case "", "exact":
+	case "atmost":
+		sem = sebmc.AtMost
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: unknown semantics %q", p.Semantics))
+		return
+	}
+	if p.Hash == "" || p.ProvenUpTo < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: migration without hash or proven prefix"))
+		return
+	}
+	sys, err := sebmc.LoadAIGER(strings.NewReader(p.Model), 0)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad migrated model: %w", err))
+		return
+	}
+	// The key keeps the SENDER's content hash: future requests for this
+	// model hash their own submitted source, and both derive from the
+	// same parsed circuit, so the warm session must be filed under that
+	// address, not a re-serialization's.
+	key := sessionKey{Hash: p.Hash, Engine: engine, Sem: sem, Sched: sched, PG: p.PG}
+	opts := sebmc.Options{Semantics: sem, Schedule: sched, PlaistedGreenbaum: p.PG}
+	adopted := s.sessions.adopt(key, sys, opts, p.ProvenUpTo)
+	if adopted {
+		s.metrics.clusterMigratedIn.Add(1)
+	}
+	writeJSON(w, http.StatusOK, migrateResponse{Adopted: adopted})
+}

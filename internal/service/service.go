@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	sebmc "repro"
@@ -124,6 +125,11 @@ type Server struct {
 	sessions *sessionPool
 	quar     *quarantine
 
+	// cluster is non-nil once JoinCluster succeeds (router.go); nil on a
+	// standalone server, which skips every routing branch.
+	cluster     atomic.Pointer[clusterState]
+	clusterOnce sync.Once
+
 	mu        sync.Mutex
 	draining  bool
 	queue     chan *job
@@ -160,6 +166,12 @@ func New(cfg Config) *Server {
 // rejected with ErrDraining (HTTP 503). Returns ctx.Err if the context
 // expires first; the workers keep finishing in the background in that
 // case. Idempotent.
+//
+// On a clustered server the tail of a successful drain re-homes warm
+// state: every clean session's proven prefix is handed to its key's
+// next owner (best effort), then the gossip loop stops. Peers shed new
+// requests for this shard's keys as soon as gossip (or a bounced
+// proxy) notices the drain, so traffic and warm state move together.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -174,6 +186,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.clusterOnce.Do(func() {
+			if cs := s.clusterView(); cs != nil {
+				s.migrateSessions(ctx) // workers are done; sessions are idle
+				cs.clusterStop()
+			}
+		})
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -194,14 +212,21 @@ func (s *Server) submit(req CheckRequest) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
+	return j, s.enqueue(j)
+}
+
+// enqueue admits and enqueues an already-parsed job. Split from submit
+// so the cluster router can parse (for the model hash) before deciding
+// whether this shard runs the job at all.
+func (s *Server) enqueue(j *job) error {
 	if err := s.admit(j); err != nil {
-		return nil, err
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.metrics.rejected.Add(1)
-		return nil, ErrDraining
+		return ErrDraining
 	}
 	// Register first, then enqueue: a worker may start the job the
 	// instant it lands in the channel, and by then it must already have
@@ -213,10 +238,10 @@ func (s *Server) submit(req CheckRequest) (*job, error) {
 	default:
 		s.unregisterLocked(j)
 		s.metrics.rejected.Add(1)
-		return nil, ErrQueueFull
+		return ErrQueueFull
 	}
 	s.metrics.submitted.Add(1)
-	return j, nil
+	return nil
 }
 
 // admit is the admission ladder shared by single submissions and batch

@@ -350,6 +350,22 @@ func (s *Session) DeepenWith(maxBound int, c *CancelFlag) (out DeepenResult) {
 	return res
 }
 
+// SeedProven extends the session's proven-unreachable prefix to k
+// without solving anything: the caller asserts that bounds 0..k are
+// Unreachable for this system under the session's semantics. This is
+// the session-migration handoff — a draining shard serializes its
+// session's ProvenUpTo and the new owner resumes from it instead of
+// re-solving the prefix cold. The assertion is trusted: seed only from
+// a prefix some session of the same (system, semantics) actually
+// proved. Values at or below the current prefix are no-ops.
+func (s *Session) SeedProven(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k > s.proven {
+		s.proven = k
+	}
+}
+
 // system returns the encoded (post-transform) system, the one witnesses
 // validate against.
 func (s *Session) system() *System {
