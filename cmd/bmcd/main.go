@@ -11,6 +11,7 @@
 //	     [-mem-high-water-mb 0] [-quarantine 3] [-quarantine-ttl 30s]
 //	     [-cluster-self URL -cluster-shards URL,URL,...]
 //	     [-cluster-mode proxy|redirect] [-gossip-interval 1s]
+//	     [-replicate=true]
 //
 // Cluster mode: give every shard the same -cluster-shards list (its own
 // advertised URL included) and its own -cluster-self. Each model then
@@ -20,7 +21,11 @@
 // clients may talk to any shard. Shards gossip health over
 // GET /v1/cluster/health and shed traffic around draining or saturated
 // peers; a SIGTERM drain migrates warm session state to the surviving
-// shards. See the README's "Running a cluster" section.
+// shards. Fresh verdicts replicate write-behind to the key's failover
+// shard (park as hints while it is down, anti-entropy repair closes any
+// remaining gaps), so a kill -9 of the owner still gets warm answers
+// from the survivor; -replicate=false turns all of that off. See the
+// README's "Running a cluster" and "Failure and recovery" sections.
 //
 // The BMCD_FAULTPOINTS environment variable arms fault-injection sites
 // for chaos drills (e.g. "sat.propagate=panic@3"); see
@@ -76,6 +81,7 @@ func main() {
 		clusterShards = flag.String("cluster-shards", "", "comma-separated shard base URLs, this shard included; identical on every shard")
 		clusterMode   = flag.String("cluster-mode", "proxy", "how non-owned requests reach their owner: proxy or redirect")
 		gossipEvery   = flag.Duration("gossip-interval", time.Second, "peer health poll period")
+		replicate     = flag.Bool("replicate", true, "replicate fresh verdicts to the failover shard (hinted handoff + anti-entropy repair)")
 	)
 	flag.Parse()
 
@@ -125,10 +131,11 @@ func main() {
 			log.Fatal("bmcd: -cluster-shards requires -cluster-self")
 		}
 		cc := service.ClusterConfig{
-			Self:           *clusterSelf,
-			Shards:         strings.Split(*clusterShards, ","),
-			Mode:           *clusterMode,
-			GossipInterval: *gossipEvery,
+			Self:               *clusterSelf,
+			Shards:             strings.Split(*clusterShards, ","),
+			Mode:               *clusterMode,
+			GossipInterval:     *gossipEvery,
+			DisableReplication: !*replicate,
 		}
 		if err := srv.JoinCluster(cc); err != nil {
 			log.Fatal(err)

@@ -9,15 +9,23 @@
 // Latency is measured from each request's INTENDED arrival time, so
 // coordinated omission does not flatter the tail. The run's summary —
 // p50/p99 latency, decided verdicts per second, error and lost counts,
-// and each target shard's locality counters — is appended as one JSON
-// row to -out (default BENCH_8.json).
+// and each target shard's locality and replication counters — is
+// appended as one JSON row to -out (default BENCH_9.json).
 //
 // Usage:
 //
 //	bmcload -targets http://host1:8080,http://host2:8080 \
 //	        [-rate 50] [-duration 10s] [-models 32] [-zipf 1.2]
 //	        [-bound-max 16] [-deepen 0.5] [-engine sat-incr]
-//	        [-seed 1] [-label ""] [-out BENCH_8.json]
+//	        [-seed 1] [-label ""] [-out BENCH_9.json]
+//	        [-kill-shard-after 0 -kill-shard-pid 0]
+//
+// Failover drill: -kill-shard-after 5s -kill-shard-pid N sends SIGKILL
+// to process N that far into the generation window while traffic keeps
+// flowing — the generator fails transport-refused requests over to the
+// next target, and the row splits the latency tail at the kill mark
+// (pre_kill_p99_ms / post_kill_p99_ms) so the cost of losing a shard is
+// a number, not an anecdote.
 //
 // Against a cluster, every target is sprayed round-robin: the routing
 // layer concentrates each model on its owning shard regardless of the
@@ -37,6 +45,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/circuits"
@@ -82,6 +91,7 @@ func buildCorpus(n int) []string {
 }
 
 type sample struct {
+	arrivalS  float64 // intended arrival offset from the run start
 	latencyMS float64
 	decided   bool
 	status    string
@@ -101,9 +111,14 @@ type shardStats struct {
 	OwnedServed    int64   `json:"owned_served,omitempty"`
 	ForwardedIn    int64   `json:"forwarded_in,omitempty"`
 	ShedServed     int64   `json:"shed_served,omitempty"`
+	ReplicatedOut  int64   `json:"replicated_out,omitempty"`
+	ReplicatedIn   int64   `json:"replicated_in,omitempty"`
+	HintsDrained   int64   `json:"hints_drained,omitempty"`
+	HedgesFired    int64   `json:"hedges_fired,omitempty"`
+	Unreachable    bool    `json:"unreachable,omitempty"`
 }
 
-// benchRow is one appended BENCH_8.json record.
+// benchRow is one appended BENCH_9.json record.
 type benchRow struct {
 	Label      string    `json:"label,omitempty"`
 	Timestamp  time.Time `json:"timestamp"`
@@ -129,6 +144,14 @@ type benchRow struct {
 	Rejected503 int     `json:"rejected_503"`
 	Lost        int     `json:"lost"`
 
+	// Failover drill accounting, present when -kill-shard-after fired:
+	// the latency tail on either side of the kill mark.
+	KillAfterS    float64 `json:"kill_shard_after_s,omitempty"`
+	KilledPID     int     `json:"killed_pid,omitempty"`
+	PreKillP99MS  float64 `json:"pre_kill_p99_ms,omitempty"`
+	PostKillP99MS float64 `json:"post_kill_p99_ms,omitempty"`
+	PostKillLost  int     `json:"post_kill_lost,omitempty"`
+
 	PerShard []shardStats `json:"per_shard"`
 	Note     string       `json:"note,omitempty"`
 }
@@ -147,9 +170,14 @@ func main() {
 		reqTimeout = flag.Duration("req-timeout", 60*time.Second, "per-request client deadline")
 		label      = flag.String("label", "", "free-form row label")
 		note       = flag.String("note", "", "free-form note recorded in the row")
-		out        = flag.String("out", "BENCH_8.json", "JSON file to append the result row to (\"-\" = stdout only)")
+		out        = flag.String("out", "BENCH_9.json", "JSON file to append the result row to (\"-\" = stdout only)")
+		killAfter  = flag.Duration("kill-shard-after", 0, "SIGKILL -kill-shard-pid this far into the run (0 = never): failover drill")
+		killPID    = flag.Int("kill-shard-pid", 0, "process to SIGKILL at the -kill-shard-after mark")
 	)
 	flag.Parse()
+	if (*killAfter > 0) != (*killPID > 0) {
+		log.Fatal("bmcload: -kill-shard-after and -kill-shard-pid must be set together")
+	}
 
 	targets := strings.Split(*targetsStr, ",")
 	corpus := buildCorpus(*models)
@@ -179,6 +207,16 @@ func main() {
 		wg      sync.WaitGroup
 	)
 	start := time.Now()
+	if *killAfter > 0 {
+		go func() {
+			time.Sleep(*killAfter)
+			if err := syscall.Kill(*killPID, syscall.SIGKILL); err != nil {
+				log.Printf("bmcload: SIGKILL pid %d: %v", *killPID, err)
+				return
+			}
+			log.Printf("bmcload: SIGKILLed pid %d %.1fs into the run", *killPID, time.Since(start).Seconds())
+		}()
+	}
 	n := 0
 	for {
 		arrival := start.Add(time.Duration(n) * interval)
@@ -216,7 +254,10 @@ func main() {
 				}
 				res, err = clients[(entry+off)%len(clients)].Check(ctx, req)
 			}
-			s := sample{latencyMS: float64(time.Since(arrival).Microseconds()) / 1000}
+			s := sample{
+				arrivalS:  arrival.Sub(start).Seconds(),
+				latencyMS: float64(time.Since(arrival).Microseconds()) / 1000,
+			}
 			switch {
 			case err == nil:
 				s.status = res.Status
@@ -277,6 +318,25 @@ func main() {
 		row.MaxMS = lats[len(lats)-1]
 	}
 	row.VerdictsPS = float64(row.Decided) / elapsed.Seconds()
+	if *killAfter > 0 {
+		row.KillAfterS = killAfter.Seconds()
+		row.KilledPID = *killPID
+		var pre, post []float64
+		for _, s := range samples {
+			if s.arrivalS < killAfter.Seconds() {
+				pre = append(pre, s.latencyMS)
+				continue
+			}
+			post = append(post, s.latencyMS)
+			if s.lost {
+				row.PostKillLost++
+			}
+		}
+		sort.Float64s(pre)
+		sort.Float64s(post)
+		row.PreKillP99MS = percentile(pre, 0.99)
+		row.PostKillP99MS = percentile(post, 0.99)
+	}
 
 	for i, c := range clients {
 		st := shardStats{URL: targets[i]}
@@ -293,7 +353,15 @@ func main() {
 				st.OwnedServed = m.Cluster.OwnedServed
 				st.ForwardedIn = m.Cluster.ForwardedIn
 				st.ShedServed = m.Cluster.ShedServed
+				st.ReplicatedOut = m.Cluster.Replication.ReplicatedOut
+				st.ReplicatedIn = m.Cluster.Replication.ReplicatedIn
+				st.HintsDrained = m.Cluster.Replication.HintsDrained
+				st.HedgesFired = m.Cluster.Replication.HedgesFired
 			}
+		} else {
+			// A killed shard answers nothing; the row should say so
+			// rather than quietly report zeros.
+			st.Unreachable = true
 		}
 		row.PerShard = append(row.PerShard, st)
 	}

@@ -24,6 +24,20 @@ func (w *Witness) Validate(sys *model.System) error {
 	if len(w.States) != w.K+1 || len(w.Inputs) != w.K+1 {
 		return fmt.Errorf("bmc: witness has %d states and %d input frames, want %d", len(w.States), len(w.Inputs), w.K+1)
 	}
+	// Width checks up front: a trace recorded against a different system
+	// (or a different transform of the same system — at-most-k witnesses
+	// target the self-looped variant) must fail as a validation error,
+	// not as an evaluator panic. Parsed witnesses in particular carry
+	// whatever widths the text said.
+	nl, ni := sys.Circ.NumLatches(), sys.Circ.NumInputs()
+	for t := 0; t <= w.K; t++ {
+		if len(w.States[t]) != nl {
+			return fmt.Errorf("bmc: witness frame %d has %d state bits, system has %d latches", t, len(w.States[t]), nl)
+		}
+		if len(w.Inputs[t]) != ni {
+			return fmt.Errorf("bmc: witness frame %d has %d input bits, system has %d inputs", t, len(w.Inputs[t]), ni)
+		}
+	}
 	if !sys.IsInitial(w.States[0]) {
 		return fmt.Errorf("bmc: witness state 0 is not an initial state")
 	}
@@ -63,6 +77,82 @@ func (w *Witness) String() string {
 		fmt.Fprintf(&b, "frame %2d: state=%s inputs=%s\n", t, bitString(w.States[t]), bitString(w.Inputs[t]))
 	}
 	return b.String()
+}
+
+// ParseWitness inverts String: it reads the one-frame-per-line rendering
+// back into a Witness, so a trace can cross a process boundary (the
+// cluster's verdict replication) and still be replay-validated on the
+// receiving side. Frames must be contiguous from 0; widths are whatever
+// the text says — Validate checks them against the system.
+func ParseWitness(s string) (*Witness, error) {
+	w := &Witness{K: -1}
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var t int
+		var state, inputs string
+		if _, err := fmt.Sscanf(line, "frame %d: state=%s inputs=%s", &t, &state, &inputs); err != nil {
+			// A zero-latch or zero-input system renders an empty bit
+			// string, which Sscanf's %s cannot match; re-scan the two
+			// fields positionally.
+			rest, ok := strings.CutPrefix(line, "frame")
+			if !ok {
+				return nil, fmt.Errorf("bmc: witness line %q: %w", line, err)
+			}
+			rest = strings.TrimSpace(rest)
+			idx, rest, ok := strings.Cut(rest, ":")
+			if !ok {
+				return nil, fmt.Errorf("bmc: witness line %q: missing frame index", line)
+			}
+			if _, err := fmt.Sscanf(idx, "%d", &t); err != nil {
+				return nil, fmt.Errorf("bmc: witness line %q: bad frame index: %w", line, err)
+			}
+			rest = strings.TrimSpace(rest)
+			sPart, iPart, ok := strings.Cut(rest, " inputs=")
+			if !ok {
+				return nil, fmt.Errorf("bmc: witness line %q: missing inputs field", line)
+			}
+			state, ok = strings.CutPrefix(sPart, "state=")
+			if !ok {
+				return nil, fmt.Errorf("bmc: witness line %q: missing state field", line)
+			}
+			state, inputs = strings.TrimSpace(state), strings.TrimSpace(iPart)
+		}
+		if t != w.K+1 {
+			return nil, fmt.Errorf("bmc: witness frame %d out of order (want %d)", t, w.K+1)
+		}
+		sb, err := parseBits(state)
+		if err != nil {
+			return nil, fmt.Errorf("bmc: witness frame %d state: %w", t, err)
+		}
+		ib, err := parseBits(inputs)
+		if err != nil {
+			return nil, fmt.Errorf("bmc: witness frame %d inputs: %w", t, err)
+		}
+		w.States = append(w.States, sb)
+		w.Inputs = append(w.Inputs, ib)
+		w.K = t
+	}
+	if w.K < 0 {
+		return nil, fmt.Errorf("bmc: empty witness text")
+	}
+	return w, nil
+}
+
+func parseBits(s string) ([]bool, error) {
+	bs := make([]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			bs[i] = true
+		default:
+			return nil, fmt.Errorf("bad bit %q", s[i])
+		}
+	}
+	return bs, nil
 }
 
 func bitString(bs []bool) string {

@@ -1,0 +1,66 @@
+package bmc
+
+import (
+	"testing"
+)
+
+// TestWitnessParseRoundTrip pins the wire format of a witness: the
+// String rendering must parse back to the identical trace, including
+// the degenerate empty bit strings a zero-input (or zero-latch) system
+// renders — that is what lets a counterexample cross a process
+// boundary (cluster verdict replication) and still replay.
+func TestWitnessParseRoundTrip(t *testing.T) {
+	cases := []*Witness{
+		{
+			K:      2,
+			States: [][]bool{{false, false, true}, {true, false, true}, {false, true, true}},
+			Inputs: [][]bool{{true}, {false}, {true}},
+		},
+		{
+			// Zero inputs: every inputs= field renders empty.
+			K:      1,
+			States: [][]bool{{false, true}, {true, true}},
+			Inputs: [][]bool{{}, {}},
+		},
+		{
+			K:      0,
+			States: [][]bool{{true}},
+			Inputs: [][]bool{{false, true}},
+		},
+	}
+	for ci, w := range cases {
+		got, err := ParseWitness(w.String())
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if got.K != w.K {
+			t.Fatalf("case %d: K=%d, want %d", ci, got.K, w.K)
+		}
+		for tt := 0; tt <= w.K; tt++ {
+			if bitString(got.States[tt]) != bitString(w.States[tt]) {
+				t.Errorf("case %d frame %d: state %s, want %s", ci, tt, bitString(got.States[tt]), bitString(w.States[tt]))
+			}
+			if bitString(got.Inputs[tt]) != bitString(w.Inputs[tt]) {
+				t.Errorf("case %d frame %d: inputs %s, want %s", ci, tt, bitString(got.Inputs[tt]), bitString(w.Inputs[tt]))
+			}
+		}
+	}
+}
+
+// TestWitnessParseRejects: malformed traces must be errors, never
+// silently-wrong witnesses — the replication receiver counts on this.
+func TestWitnessParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"frame  0: state=01 inputs=1\nframe  2: state=10 inputs=0\n", // gap
+		"frame  1: state=01 inputs=1\n",                              // does not start at 0
+		"frame  0: state=0x inputs=1\n",                              // bad bit
+		"frame  0: state=01\n",                                       // missing inputs field
+		"not a witness at all\n",
+	}
+	for i, s := range bad {
+		if _, err := ParseWitness(s); err == nil {
+			t.Errorf("case %d: ParseWitness accepted %q", i, s)
+		}
+	}
+}

@@ -10,8 +10,11 @@ package cluster
 // The tracker is deliberately optimistic about silence: a peer that
 // has never been polled is assumed healthy, so a freshly booted
 // cluster routes by hash immediately instead of funneling everything
-// to self until the first gossip round completes. A peer whose poll
-// FAILED is pessimistically down until a later poll succeeds.
+// to self until the first gossip round completes. Poll failures are
+// damped with hysteresis: TWO consecutive failed polls demote a peer
+// (NoteFailedPoll), so one poll lost under load does not trigger a
+// shed-and-hint storm — but direct evidence of refusal (a bounced
+// proxy or replication send, NoteDown) demotes immediately.
 
 import (
 	"sync"
@@ -37,6 +40,25 @@ type Status struct {
 	// Sessions is the live warm-session count, for operators reading
 	// locality off the gossip view.
 	Sessions int `json:"sessions"`
+	// P99JobMicros is this shard's self-reported p99 job wall-clock,
+	// the signal peers use to size hedged-failover delays: a proxy
+	// hedges when its primary has been quiet longer than the primary's
+	// own advertised tail.
+	P99JobMicros int64 `json:"p99_job_micros,omitempty"`
+	// CacheDigest summarizes the shard's verdict cache per key range
+	// for anti-entropy: a peer whose range digest disagrees pulls the
+	// difference via /v1/cluster/repair.
+	CacheDigest []RangeDigest `json:"cache_digest,omitempty"`
+}
+
+// RangeDigest is one key range's verdict-cache summary: how many
+// entries live in the range and an order-independent XOR hash of their
+// identities. Equal digests mean (with overwhelming probability) equal
+// range contents; unequal digests pick out exactly which ranges a
+// repair pull must fetch.
+type RangeDigest struct {
+	Count uint64 `json:"n"`
+	Hash  uint64 `json:"h"`
 }
 
 // Overloaded reports whether a shard in this state should be skipped
@@ -53,7 +75,8 @@ func (st Status) Overloaded() bool {
 type peerState struct {
 	status  Status
 	heard   time.Time // last successful poll
-	down    bool      // last poll failed
+	down    bool      // peer demoted (strikes reached, or direct refusal)
+	strikes int       // consecutive failed polls since the last success
 	everted bool      // at least one poll completed (success or failure)
 }
 
@@ -72,22 +95,43 @@ func NewTracker(ttl time.Duration) *Tracker {
 	return &Tracker{ttl: ttl, peers: make(map[string]*peerState), now: time.Now}
 }
 
-// Note records a successful health poll of peer id.
+// Note records a successful health poll of peer id, clearing any
+// accumulated failure strikes.
 func (t *Tracker) Note(id string, st Status) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	p := t.peer(id)
-	p.status, p.heard, p.down, p.everted = st, t.now(), false, true
+	p.status, p.heard, p.down, p.strikes, p.everted = st, t.now(), false, 0, true
 }
 
-// NoteDown records a failed poll (or a failed proxy attempt — the
-// routing layer demotes a peer the moment a forward bounces, without
-// waiting for the next gossip tick).
+// NoteDown records direct evidence that a peer refused work (a bounced
+// proxy or a failed replication send): the peer is demoted immediately,
+// without waiting for the next gossip tick or a second strike.
 func (t *Tracker) NoteDown(id string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	p := t.peer(id)
 	p.down, p.everted = true, true
+}
+
+// pollStrikes is the hysteresis threshold: this many consecutive
+// failed polls demote a peer. One lost poll under load keeps the peer
+// healthy; a second in a row does not.
+const pollStrikes = 2
+
+// NoteFailedPoll records one failed gossip poll of peer id. Unlike
+// NoteDown, a single failure is damped: the peer stays healthy until
+// pollStrikes consecutive polls fail, so a momentary stall does not
+// flap the peer through down-and-back and trigger a hint storm.
+func (t *Tracker) NoteFailedPoll(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peer(id)
+	p.everted = true
+	p.strikes++
+	if p.strikes >= pollStrikes {
+		p.down = true
+	}
 }
 
 func (t *Tracker) peer(id string) *peerState {
@@ -112,7 +156,7 @@ func (t *Tracker) Healthy(id string) bool {
 	if p.down {
 		return false
 	}
-	if t.ttl > 0 && t.now().Sub(p.heard) > t.ttl {
+	if t.ttl > 0 && !p.heard.IsZero() && t.now().Sub(p.heard) > t.ttl {
 		return false // stale: the peer stopped answering polls
 	}
 	return !p.status.Overloaded()

@@ -195,7 +195,7 @@ func TestTracker(t *testing.T) {
 	if !tr.Healthy("a") {
 		t.Fatal("unknown peer should be healthy")
 	}
-	// A failed poll demotes immediately.
+	// Direct refusal evidence (a bounced proxy) demotes immediately.
 	tr.NoteDown("a")
 	if tr.Healthy("a") {
 		t.Fatal("downed peer should be unhealthy")
@@ -226,5 +226,54 @@ func TestTracker(t *testing.T) {
 	}
 	if up := tr.Up([]string{"a", "b"}); up != 1 {
 		t.Fatalf("Up = %d, want 1 (only the never-polled peer)", up)
+	}
+}
+
+// TestTrackerPollHysteresis pins the two-strike demotion contract: one
+// lost gossip poll must NOT demote a peer (that is exactly the flap
+// that triggers a shed-and-hint storm under load), two consecutive
+// failures must, and any successful poll resets the strike count.
+func TestTrackerPollHysteresis(t *testing.T) {
+	tr := NewTracker(time.Minute)
+
+	// One failed poll: still healthy.
+	tr.NoteFailedPoll("a")
+	if !tr.Healthy("a") {
+		t.Fatal("one failed poll must not demote a peer")
+	}
+	// Second consecutive failure: down.
+	tr.NoteFailedPoll("a")
+	if tr.Healthy("a") {
+		t.Fatal("two consecutive failed polls must demote a peer")
+	}
+	// Recovery restores and resets the strikes...
+	tr.Note("a", Status{ID: "a"})
+	if !tr.Healthy("a") {
+		t.Fatal("recovered peer should be healthy")
+	}
+	// ...so the next single failure is again not enough.
+	tr.NoteFailedPoll("a")
+	if !tr.Healthy("a") {
+		t.Fatal("strike count must reset on a successful poll")
+	}
+	tr.NoteFailedPoll("a")
+	if tr.Healthy("a") {
+		t.Fatal("two strikes after a reset must demote")
+	}
+
+	// An interleaved success breaks a failure streak even when the
+	// failures are not adjacent in wall-clock terms.
+	tr.NoteFailedPoll("b")
+	tr.Note("b", Status{ID: "b"})
+	tr.NoteFailedPoll("b")
+	if !tr.Healthy("b") {
+		t.Fatal("non-consecutive failures must not accumulate")
+	}
+
+	// NoteDown (refusal evidence) stays immediate, no hysteresis.
+	tr.Note("c", Status{ID: "c"})
+	tr.NoteDown("c")
+	if tr.Healthy("c") {
+		t.Fatal("NoteDown must demote immediately")
 	}
 }

@@ -10,9 +10,12 @@ package service
 
 import (
 	"container/list"
+	"hash/fnv"
+	"strconv"
 	"sync"
 
 	sebmc "repro"
+	"repro/internal/cluster"
 	"repro/internal/faultpoint"
 )
 
@@ -89,14 +92,68 @@ type cacheEntry struct {
 	sz  int
 }
 
+// digestRanges partitions the key space for anti-entropy: entries are
+// bucketed by the first hex character of the model hash, so two shards
+// comparing digests localize a divergence to a sixteenth of the cache
+// before pulling anything.
+const digestRanges = 16
+
+// rangeOf maps a key to its digest bucket.
+func rangeOf(k verdictKey) int {
+	if len(k.Hash) == 0 {
+		return 0
+	}
+	c := k.Hash[0]
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c) % digestRanges
+	}
+}
+
+// identityHash is an entry's anti-entropy fingerprint: the question
+// plus the deterministic half of the answer (status, depth). Run
+// statistics (conflicts, peak bytes, deciding engine) are deliberately
+// excluded — two shards that independently solved the same question
+// hold entries with different stats but the same identity, and repair
+// must see them as already converged.
+func identityHash(k verdictKey, v verdict) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(k.Hash))
+	buf := make([]byte, 0, 64)
+	buf = strconv.AppendInt(buf, int64(k.Bound), 10)
+	buf = append(buf, '|')
+	buf = append(buf, byte(k.Engine), byte(k.Sem), byte(k.Sched))
+	buf = append(buf, boolByte(k.Deepen), boolByte(k.PG), '|')
+	buf = append(buf, v.Status...)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(v.FoundAt), 10)
+	_, _ = h.Write(buf)
+	return h.Sum64()
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // verdictCache is a mutex-guarded LRU over a byte budget. budget < 0
-// disables it entirely.
+// disables it entirely. Alongside the entries it maintains an
+// incremental per-range digest (count + XOR of identity hashes) that
+// gossip piggybacks for anti-entropy: insert XORs an entry in, evict
+// XORs it out, so reading the digest is O(ranges), never a scan.
 type verdictCache struct {
 	mu      sync.Mutex
 	budget  int
 	bytes   int
 	ll      *list.List // front = most recently used
 	entries map[verdictKey]*list.Element
+	digests [digestRanges]cluster.RangeDigest
 }
 
 func newVerdictCache(budget int) *verdictCache {
@@ -105,6 +162,54 @@ func newVerdictCache(budget int) *verdictCache {
 		ll:      list.New(),
 		entries: make(map[verdictKey]*list.Element),
 	}
+}
+
+// digestToggleLocked folds an entry into or out of its range digest
+// (XOR is its own inverse, so one body serves insert and remove).
+func (c *verdictCache) digestToggleLocked(k verdictKey, v verdict, insert bool) {
+	r := rangeOf(k)
+	c.digests[r].Hash ^= identityHash(k, v)
+	if insert {
+		c.digests[r].Count++
+	} else {
+		c.digests[r].Count--
+	}
+}
+
+// digest snapshots the per-range summaries for gossip.
+func (c *verdictCache) digest() []cluster.RangeDigest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cluster.RangeDigest, digestRanges)
+	copy(out, c.digests[:])
+	return out
+}
+
+// rangeEntries returns copies of every entry whose key falls in one of
+// the requested ranges — the repair-pull payload. Does not touch
+// recency: answering a peer's anti-entropy pull is not a use.
+func (c *verdictCache) rangeEntries(ranges map[int]bool) []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []cacheEntry
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if ranges[rangeOf(e.key)] {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// has reports presence without promoting the entry.
+func (c *verdictCache) has(k verdictKey) bool {
+	if c.budget < 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[k]
+	return ok
 }
 
 func (c *verdictCache) get(k verdictKey) (verdict, bool) {
@@ -139,13 +244,16 @@ func (c *verdictCache) put(k verdictKey, v verdict) {
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		e := el.Value.(*cacheEntry)
+		c.digestToggleLocked(e.key, e.v, false)
 		c.bytes += sz - e.sz
 		e.v, e.sz = v, sz
 		c.ll.MoveToFront(el)
+		c.digestToggleLocked(k, v, true)
 	} else {
 		e := &cacheEntry{key: k, v: v, sz: sz}
 		c.entries[k] = c.ll.PushFront(e)
 		c.bytes += sz
+		c.digestToggleLocked(k, v, true)
 	}
 	for c.bytes > c.budget {
 		back := c.ll.Back()
@@ -156,6 +264,7 @@ func (c *verdictCache) put(k verdictKey, v verdict) {
 		c.ll.Remove(back)
 		delete(c.entries, e.key)
 		c.bytes -= e.sz
+		c.digestToggleLocked(e.key, e.v, false)
 	}
 }
 

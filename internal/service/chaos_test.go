@@ -161,13 +161,21 @@ func TestServiceChaosClustered(t *testing.T) {
 
 	// One-shot faults across the layers the routed path traverses.
 	// Faultpoints are process-global, so each fires on whichever shard
-	// hits the site first — entry or owner side of the proxy hop.
+	// hits the site first — entry or owner side of the proxy hop. The
+	// warm-failover sites ride along: a panic in the replication worker
+	// must be contained there (the worker survives), a failed hint drain
+	// must re-park and retry, and a blackholed repair pull must leave
+	// the divergence for a later tick — none of them may corrupt an
+	// answer or kill a goroutine the cleanup's settle would catch.
 	faultpoint.Arm("sat.propagate", faultpoint.Schedule{Kind: faultpoint.KindPanic, On: 41})
 	faultpoint.Arm("sat.analyze", faultpoint.Schedule{Kind: faultpoint.KindPanic, On: 7})
 	faultpoint.Arm("service.cache.put", faultpoint.Schedule{Kind: faultpoint.KindPanic, On: 5})
 	faultpoint.Arm("service.session.build", faultpoint.Schedule{Kind: faultpoint.KindError, On: 3})
 	faultpoint.Arm("service.witness.validate", faultpoint.Schedule{Kind: faultpoint.KindError, On: 9})
 	faultpoint.Arm("service.queue.admit", faultpoint.Schedule{Kind: faultpoint.KindError, On: 17})
+	faultpoint.Arm("service.replicate.send", faultpoint.Schedule{Kind: faultpoint.KindPanic, On: 2})
+	faultpoint.Arm("service.hint.drain", faultpoint.Schedule{Kind: faultpoint.KindError, On: 1})
+	faultpoint.Arm("service.repair.pull", faultpoint.Schedule{Kind: faultpoint.KindError, On: 1})
 
 	engines := []string{"", "sat", "sat-incr"}
 	const stormRequests = 140
@@ -232,6 +240,7 @@ func TestServiceChaosClustered(t *testing.T) {
 	t.Logf("clustered chaos: shard0 completed=%d panics=%d owned=%d shed=%d fwd_in=%d; shard1 completed=%d panics=%d migrated_out=%d",
 		m0.Completed, m0.PanicsRecovered, m0.Cluster.OwnedServed, m0.Cluster.ShedServed, m0.Cluster.ForwardedIn,
 		m1.Completed, m1.PanicsRecovered, m1.Cluster.MigratedOut)
+	t.Logf("clustered chaos replication: shard0 %+v; shard1 %+v", m0.Cluster.Replication, m1.Cluster.Replication)
 }
 
 func TestServiceChaos(t *testing.T) {

@@ -14,6 +14,12 @@ package service
 //	GET    /metrics         MetricsSnapshot JSON
 //	GET    /healthz         200 ok / 503 draining
 //
+// Clustered shards additionally expose the peer-to-peer endpoints
+// GET /v1/cluster/health (gossip), POST /v1/cluster/migrate (drain-time
+// session handoff), POST /v1/cluster/replicate (verdict write-behind)
+// and GET /v1/cluster/repair (anti-entropy pulls); see router.go and
+// replication.go.
+//
 // Submissions during a drain get 503 with Retry-After, which is what a
 // load balancer in front of a rolling restart wants to see.
 
@@ -22,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	sebmc "repro"
 )
@@ -40,6 +48,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/cluster/health", s.handleClusterHealth)
 	mux.HandleFunc("POST /v1/cluster/migrate", s.handleClusterMigrate)
+	mux.HandleFunc("POST /v1/cluster/replicate", s.handleClusterReplicate)
+	mux.HandleFunc("GET /v1/cluster/repair", s.handleClusterRepair)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// A clustered shard names itself on every response; a proxied
 		// answer overwrites this with the shard that actually solved it,
@@ -97,9 +107,19 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// A proxied request carries the sender's remaining budget: clamp the
+	// local solving budget to it, so a chain of hops can never keep
+	// working past the client's own deadline.
+	if ms := r.Header.Get(deadlineHeader); ms != "" {
+		if v, perr := strconv.ParseInt(ms, 10, 64); perr == nil && v > 0 {
+			if d := time.Duration(v) * time.Millisecond; j.timeout <= 0 || j.timeout > d {
+				j.timeout = d
+			}
+		}
+	}
 	// Clustered: the model hash decides which shard runs this. routeCheck
 	// answers true when the request was proxied or redirected away.
-	if s.routeCheck(w, r, j.hash, req) {
+	if s.routeCheck(w, r, j) {
 		return
 	}
 	if err := s.enqueue(j); err != nil {

@@ -9,6 +9,7 @@ package service
 // the E3 experiments track.
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,9 +74,34 @@ type metrics struct {
 	clusterMigratedIn    atomic.Int64
 	clusterMigrateFailed atomic.Int64
 
+	// Warm-failover accounting: the verdict replication write-behind
+	// (out = entries accepted by a failover peer, in = entries adopted
+	// from one), the hinted-handoff log, anti-entropy repair, and
+	// hedged proxying.
+	replicatedOut     atomic.Int64
+	replicatedIn      atomic.Int64
+	replicateRejected atomic.Int64 // receiver dropped an invalid entry
+	replicateDropped  atomic.Int64 // sender queue overflow
+	hintsQueued       atomic.Int64
+	hintsDrained      atomic.Int64
+	hintsDropped      atomic.Int64
+	repairPulls       atomic.Int64
+	repairedEntries   atomic.Int64
+	hedgesFired       atomic.Int64
+	hedgesWon         atomic.Int64
+
+	// latRing holds recent job wall-clocks (microseconds) for the p99
+	// gossip advertises; peers size hedge delays from it. Lock-free:
+	// writers claim slots round-robin, readers take a racy snapshot —
+	// a quantile over slightly torn samples is still a quantile.
+	latRing [latRingSize]atomic.Int64
+	latIdx  atomic.Uint64
+
 	mu        sync.Mutex
 	decidedBy map[string]int64
 }
+
+const latRingSize = 256
 
 func newMetrics() *metrics {
 	return &metrics{start: time.Now(), decidedBy: make(map[string]int64)}
@@ -91,9 +117,14 @@ func (m *metrics) noteDecided(engine string) {
 }
 
 // noteElapsed folds one finished job's wall-clock into the EMA
-// (alpha = 1/8, integer arithmetic; first sample seeds it).
+// (alpha = 1/8, integer arithmetic; first sample seeds it) and the p99
+// sample ring.
 func (m *metrics) noteElapsed(d time.Duration) {
 	us := d.Microseconds()
+	if us < 1 {
+		us = 1 // zero marks an empty ring slot
+	}
+	m.latRing[m.latIdx.Add(1)%latRingSize].Store(us)
 	for {
 		cur := m.avgJobMicros.Load()
 		next := us
@@ -104,6 +135,29 @@ func (m *metrics) noteElapsed(d time.Duration) {
 			return
 		}
 	}
+}
+
+// p99JobMicros computes the 99th percentile of the recent-job ring
+// (nearest-rank over the filled slots; 0 when no job has finished).
+func (m *metrics) p99JobMicros() int64 {
+	var samples []int64
+	for i := range m.latRing {
+		if v := m.latRing[i].Load(); v > 0 {
+			samples = append(samples, v)
+		}
+	}
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := (len(samples)*99 + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(samples) {
+		idx = len(samples)
+	}
+	return samples[idx-1]
 }
 
 func (m *metrics) notePeakBytes(b int64) {
@@ -209,6 +263,44 @@ type ClusterSnapshot struct {
 	MigratedOut   int64 `json:"sessions_migrated_out"`
 	MigratedIn    int64 `json:"sessions_migrated_in"`
 	MigrateFailed int64 `json:"sessions_migrate_failed"`
+
+	// Replication is the warm-failover machinery's accounting.
+	Replication ReplicationSnapshot `json:"replication"`
+}
+
+// ReplicationSnapshot is the /metrics replication section: the verdict
+// write-behind, the hinted-handoff log, anti-entropy repair, and
+// hedged proxying.
+type ReplicationSnapshot struct {
+	// ReplicatedOut counts entries a failover peer accepted from this
+	// shard; ReplicatedIn counts entries this shard adopted from peers
+	// (replicate pushes and repair pulls both land here).
+	ReplicatedOut int64 `json:"replicated_out"`
+	ReplicatedIn  int64 `json:"replicated_in"`
+	// ReplicateDropped: sender-side queue overflow (the write-behind
+	// queue is bounded; a storm drops rather than blocks).
+	// ReplicateRejected: receiver-side entries dropped for failing
+	// validation (hash mismatch, witness that does not replay).
+	ReplicateDropped  int64 `json:"replicate_dropped"`
+	ReplicateRejected int64 `json:"replicate_rejected"`
+
+	HintsQueued  int64 `json:"hints_queued"`
+	HintsDrained int64 `json:"hints_drained"`
+	HintsDropped int64 `json:"hints_dropped"`
+
+	// RepairPulls counts anti-entropy pull requests issued; Repaired
+	// counts entries adopted through them.
+	RepairPulls     int64 `json:"repair_pulls"`
+	RepairedEntries int64 `json:"repaired_entries"`
+
+	// HedgesFired counts proxied checks duplicated to the failover
+	// owner after the primary exceeded its advertised p99; HedgesWon
+	// counts races the hedge answered first.
+	HedgesFired int64 `json:"hedges_fired"`
+	HedgesWon   int64 `json:"hedges_won"`
+
+	// HintsParked is the current hint-log occupancy across peers.
+	HintsParked int `json:"hints_parked"`
 }
 
 // Metrics snapshots the server's counters.
@@ -272,6 +364,20 @@ func (s *Server) Metrics() MetricsSnapshot {
 			MigratedOut:   m.clusterMigratedOut.Load(),
 			MigratedIn:    m.clusterMigratedIn.Load(),
 			MigrateFailed: m.clusterMigrateFailed.Load(),
+			Replication: ReplicationSnapshot{
+				ReplicatedOut:     m.replicatedOut.Load(),
+				ReplicatedIn:      m.replicatedIn.Load(),
+				ReplicateDropped:  m.replicateDropped.Load(),
+				ReplicateRejected: m.replicateRejected.Load(),
+				HintsQueued:       m.hintsQueued.Load(),
+				HintsDrained:      m.hintsDrained.Load(),
+				HintsDropped:      m.hintsDropped.Load(),
+				RepairPulls:       m.repairPulls.Load(),
+				RepairedEntries:   m.repairedEntries.Load(),
+				HedgesFired:       m.hedgesFired.Load(),
+				HedgesWon:         m.hedgesWon.Load(),
+				HintsParked:       cs.repl.parked(),
+			},
 		}
 	}
 

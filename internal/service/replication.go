@@ -1,0 +1,658 @@
+package service
+
+// Warm failover for the sharded cluster: the machinery that makes a
+// verdict survive the death of the shard that computed it.
+//
+//   - Replication: every fresh verdict-cache fill is write-behind
+//     replicated to the key's first failover shard (the next entry in
+//     rendezvous preference order). The enqueue is a non-blocking
+//     channel send — a full queue drops the entry and counts it, it
+//     never delays the request path — and a background worker batches
+//     queued entries per target into POST /v1/cluster/replicate. The
+//     receiver re-derives the model hash from the shipped AAG and
+//     replay-validates witness-bearing REACHABLE entries before
+//     adopting them, exactly like served verdicts: a corrupt or
+//     dishonest replica is dropped, not cached.
+//
+//   - Hinted handoff: when the replica target is down per the gossip
+//     tracker (or a send bounces), entries park in a per-peer bounded
+//     hint log. The gossip loop drains a peer's hints the moment a
+//     poll sees it healthy again, so a rebooted shard gets the
+//     verdicts it missed without waiting for anti-entropy.
+//
+//   - Anti-entropy: each shard piggybacks a per-range verdict-cache
+//     digest (count + XOR identity hash, cache.go) on its gossip
+//     status. A shard whose view of a peer's range disagrees with its
+//     own issues GET /v1/cluster/repair?ranges=... and merges the
+//     difference — union merge, so repeated exchange converges after
+//     partitions, kill -9 crashes, and rolling restarts. A per-(peer,
+//     range) memo of the last digest pulled keeps the exchange
+//     quiescent once the caches stop changing: divergence a pull
+//     cannot close (entries past the LRU budget, run-stat-only
+//     differences) is pulled once, not every tick.
+//
+// All three paths run under the replicate/hint/repair faultpoints, so
+// the PR-7 chaos storm exercises them; a panic injected into the
+// background worker is contained, never process-fatal.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	sebmc "repro"
+	"repro/internal/cluster"
+	"repro/internal/faultpoint"
+)
+
+// replicaEntry is the wire form of one verdict-cache entry: the full
+// question (the verdict key), the answer, and — on replicate pushes
+// only — the model source, so the receiver can check the content hash
+// and replay the witness. Repair pulls omit the model (the cache does
+// not retain it); they only carry entries whose witnesses were
+// validated at original fill or replicate time.
+type replicaEntry struct {
+	Hash      string `json:"hash"`
+	Bound     int    `json:"bound"`
+	Engine    string `json:"engine"`
+	Semantics string `json:"semantics"`
+	Schedule  string `json:"schedule"`
+	Deepen    bool   `json:"deepen,omitempty"`
+	PG        bool   `json:"pg,omitempty"`
+
+	Status           string `json:"status"`
+	FoundAt          int    `json:"found_at"`
+	DecidedBy        string `json:"decided_by,omitempty"`
+	Witness          string `json:"witness,omitempty"`
+	WitnessValidated bool   `json:"witness_validated,omitempty"`
+	Iterations       int    `json:"iterations,omitempty"`
+	BoundsSkipped    int    `json:"bounds_skipped,omitempty"`
+	Conflicts        int64  `json:"conflicts,omitempty"`
+	PeakBytes        int    `json:"peak_bytes,omitempty"`
+	ResultBound      int    `json:"result_bound"`
+
+	// Model is the AAG source with the bad literal as output 0 — the
+	// same wire convention /v1/check and /v1/cluster/migrate use.
+	Model string `json:"model,omitempty"`
+}
+
+// replicatePayload is the POST /v1/cluster/replicate body.
+type replicatePayload struct {
+	Entries []replicaEntry `json:"entries"`
+}
+
+// replicateResponse reports how many entries the receiver adopted.
+type replicateResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// repairPayload is the GET /v1/cluster/repair answer. Truncated means
+// the response hit its size cap; the puller must not memoize the
+// digest it pulled against, so the next gossip tick pulls the rest.
+type repairPayload struct {
+	Entries   []replicaEntry `json:"entries"`
+	Truncated bool           `json:"truncated,omitempty"`
+}
+
+func semString(sem sebmc.Semantics) string {
+	if sem == sebmc.AtMost {
+		return "atmost"
+	}
+	return "exact"
+}
+
+func parseSem(s string) (sebmc.Semantics, error) {
+	switch s {
+	case "", "exact":
+		return sebmc.Exact, nil
+	case "atmost":
+		return sebmc.AtMost, nil
+	default:
+		return sebmc.Exact, fmt.Errorf("service: unknown semantics %q", s)
+	}
+}
+
+// wireEntry renders a cache entry for the wire; model may be empty
+// (repair pulls).
+func wireEntry(k verdictKey, v verdict, model string) replicaEntry {
+	return replicaEntry{
+		Hash:             k.Hash,
+		Bound:            k.Bound,
+		Engine:           k.Engine.String(),
+		Semantics:        semString(k.Sem),
+		Schedule:         k.Sched.String(),
+		Deepen:           k.Deepen,
+		PG:               k.PG,
+		Status:           v.Status,
+		FoundAt:          v.FoundAt,
+		DecidedBy:        v.DecidedBy,
+		Witness:          v.Witness,
+		WitnessValidated: v.WitnessValidated,
+		Iterations:       v.Iterations,
+		BoundsSkipped:    v.BoundsSkipped,
+		Conflicts:        v.Conflicts,
+		PeakBytes:        v.PeakBytes,
+		ResultBound:      v.Bound,
+		Model:            model,
+	}
+}
+
+// entryKey parses the wire entry's question back into a verdict key.
+func (e replicaEntry) entryKey() (verdictKey, error) {
+	if e.Hash == "" {
+		return verdictKey{}, fmt.Errorf("service: replica entry without model hash")
+	}
+	engine, err := sebmc.ParseEngine(e.Engine)
+	if err != nil {
+		return verdictKey{}, err
+	}
+	sched, err := sebmc.ParseSchedule(e.Schedule)
+	if err != nil {
+		return verdictKey{}, err
+	}
+	sem, err := parseSem(e.Semantics)
+	if err != nil {
+		return verdictKey{}, err
+	}
+	return verdictKey{
+		Hash:   e.Hash,
+		Bound:  e.Bound,
+		Engine: engine,
+		Sem:    sem,
+		Sched:  sched,
+		Deepen: e.Deepen,
+		PG:     e.PG,
+	}, nil
+}
+
+func (e replicaEntry) entryVerdict() verdict {
+	return verdict{
+		Status:           e.Status,
+		FoundAt:          e.FoundAt,
+		DecidedBy:        e.DecidedBy,
+		Witness:          e.Witness,
+		WitnessValidated: e.WitnessValidated,
+		Iterations:       e.Iterations,
+		BoundsSkipped:    e.BoundsSkipped,
+		Conflicts:        e.Conflicts,
+		PeakBytes:        e.PeakBytes,
+		Bound:            e.ResultBound,
+	}
+}
+
+// replTask is one queued write-behind replication: the cache entry
+// plus the parsed system it answers for (serialized to AAG on the
+// worker goroutine, never on the request path).
+type replTask struct {
+	key verdictKey
+	v   verdict
+	sys *sebmc.System
+}
+
+// replBatchMax bounds how many queued entries one send coalesces.
+const replBatchMax = 32
+
+// replSendTimeout bounds every replicate/hint/repair exchange.
+const replSendTimeout = 10 * time.Second
+
+// replicator is the warm-failover engine of one clustered shard: the
+// bounded write-behind queue and its worker, the per-peer hint logs,
+// and the anti-entropy pull memos.
+type replicator struct {
+	s  *Server
+	cs *clusterState
+
+	queue chan replTask
+
+	mu         sync.Mutex
+	hints      map[string][]replicaEntry // peer ID -> parked entries
+	hintsTotal int
+	lastPulled map[string]map[int]uint64 // peer ID -> range -> digest hash pulled
+
+	hintLimit int // per-peer park bound
+}
+
+func newReplicator(s *Server, cs *clusterState, queueDepth, hintLimit int) *replicator {
+	if queueDepth == 0 {
+		queueDepth = 1024
+	}
+	if hintLimit <= 0 {
+		hintLimit = 512
+	}
+	return &replicator{
+		s:          s,
+		cs:         cs,
+		queue:      make(chan replTask, queueDepth),
+		hints:      make(map[string][]replicaEntry),
+		lastPulled: make(map[string]map[int]uint64),
+		hintLimit:  hintLimit,
+	}
+}
+
+// parked is the current hint-log occupancy, for /metrics.
+func (r *replicator) parked() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hintsTotal
+}
+
+// enqueue hands one fresh cache fill to the write-behind worker. Non-
+// blocking by construction: this is called from the request path, and
+// a replication storm must degrade to dropped replicas (anti-entropy
+// will catch them up), never to queue-depth latency on /v1/check.
+func (r *replicator) enqueue(t replTask) {
+	select {
+	case r.queue <- t:
+	default:
+		r.s.metrics.replicateDropped.Add(1)
+	}
+}
+
+// loop is the write-behind worker: it drains the queue in batches,
+// groups entries by their failover target, and sends. Runs under the
+// cluster's WaitGroup; exits when the cluster stops.
+func (r *replicator) loop() {
+	defer r.cs.wg.Done()
+	for {
+		var first replTask
+		select {
+		case <-r.cs.stop:
+			return
+		case first = <-r.queue:
+		}
+		batch := []replTask{first}
+		for len(batch) < replBatchMax {
+			select {
+			case t := <-r.queue:
+				batch = append(batch, t)
+			default:
+				goto send
+			}
+		}
+	send:
+		r.sendBatch(batch)
+	}
+}
+
+// target picks the entry's first failover shard: the first shard in
+// rendezvous preference order that is not this one. Nil on a
+// single-shard "cluster" — nobody to replicate to.
+func (r *replicator) target(hash string) *cluster.Shard {
+	prefs := r.cs.ring.Prefs(hash)
+	for i := range prefs {
+		if prefs[i].ID != r.cs.self.ID {
+			return &prefs[i]
+		}
+	}
+	return nil
+}
+
+// sendBatch groups one drained batch by failover target and pushes
+// each group, parking entries for unreachable targets in the hint log.
+// Contained: a panic injected at the send faultpoint (or a bug in the
+// serialization path) is swallowed here — the replicator is an
+// accelerator, and its worker must survive anything.
+func (r *replicator) sendBatch(batch []replTask) {
+	defer func() { _ = recover() }()
+	groups := make(map[string][]replicaEntry)
+	targets := make(map[string]cluster.Shard)
+	for _, t := range batch {
+		sh := r.target(t.key.Hash)
+		if sh == nil {
+			continue
+		}
+		var aag strings.Builder
+		if err := t.sys.Reduce().Circ.WriteAAG(&aag); err != nil {
+			continue
+		}
+		groups[sh.ID] = append(groups[sh.ID], wireEntry(t.key, t.v, aag.String()))
+		targets[sh.ID] = *sh
+	}
+	for id, entries := range groups {
+		sh := targets[id]
+		if !r.cs.tracker.Healthy(id) {
+			r.park(id, entries)
+			continue
+		}
+		accepted, err := r.push(sh, entries)
+		if err != nil {
+			// The target looked healthy but the send bounced: demote it
+			// now (direct refusal evidence, no hysteresis) and park the
+			// entries for handoff when gossip sees it back.
+			r.cs.tracker.NoteDown(id)
+			r.park(id, entries)
+			continue
+		}
+		r.s.metrics.replicatedOut.Add(int64(accepted))
+	}
+}
+
+// push POSTs one batch of entries to a peer's replicate endpoint.
+func (r *replicator) push(target cluster.Shard, entries []replicaEntry) (int, error) {
+	// Fault-injection site: an injected error simulates the network
+	// eating the send (entries park as hints); an injected delay
+	// simulates a slow peer stream.
+	if err := faultpoint.Hit("service.replicate.send"); err != nil {
+		return 0, err
+	}
+	payload, err := json.Marshal(replicatePayload{Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), replSendTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target.URL+"/v1/cluster/replicate", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.cs.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, &APIError{StatusCode: resp.StatusCode, Message: readMessage(resp.Body)}
+	}
+	var rr replicateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return 0, err
+	}
+	return rr.Accepted, nil
+}
+
+// park appends entries to a peer's hint log, dropping the oldest hints
+// beyond the per-peer bound — the log is a buffer for a reboot-sized
+// outage, not an unbounded journal; what it drops, anti-entropy
+// repairs later.
+func (r *replicator) park(id string, entries []replicaEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	before := len(r.hints[id])
+	log := append(r.hints[id], entries...)
+	r.s.metrics.hintsQueued.Add(int64(len(entries)))
+	if over := len(log) - r.hintLimit; over > 0 {
+		log = append([]replicaEntry(nil), log[over:]...)
+		r.s.metrics.hintsDropped.Add(int64(over))
+	}
+	r.hints[id] = log
+	r.hintsTotal += len(log) - before
+}
+
+// drainHints pushes a recovered peer's parked hints. Called from the
+// gossip loop right after a successful poll of the peer; on failure
+// the hints re-park (bounded) for the next attempt.
+func (r *replicator) drainHints(target cluster.Shard) {
+	defer func() { _ = recover() }()
+	r.mu.Lock()
+	log := r.hints[target.ID]
+	if len(log) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.hints, target.ID)
+	r.hintsTotal -= len(log)
+	r.mu.Unlock()
+
+	// Fault-injection site: an injected error aborts the drain and
+	// re-parks the hints, exercising the retry-next-tick path.
+	if err := faultpoint.Hit("service.hint.drain"); err != nil {
+		r.park(target.ID, log)
+		return
+	}
+	for len(log) > 0 {
+		n := len(log)
+		if n > replBatchMax {
+			n = replBatchMax
+		}
+		accepted, err := r.push(target, log[:n])
+		if err != nil {
+			r.cs.tracker.NoteDown(target.ID)
+			r.park(target.ID, log)
+			return
+		}
+		r.s.metrics.replicatedOut.Add(int64(accepted))
+		r.s.metrics.hintsDrained.Add(int64(n))
+		log = log[n:]
+	}
+}
+
+// antiEntropy compares a freshly-heard peer digest against the local
+// cache and pulls the ranges that disagree. The lastPulled memo keeps
+// the exchange quiescent: a range is re-pulled only when the peer's
+// digest differs both from ours and from what we last pulled from that
+// peer — so divergence a pull cannot close (their entries fell to our
+// LRU budget, or the entries differ only in run statistics) costs one
+// pull, not one per tick.
+func (r *replicator) antiEntropy(target cluster.Shard, st cluster.Status) {
+	defer func() { _ = recover() }()
+	if len(st.CacheDigest) == 0 {
+		return
+	}
+	local := r.s.cache.digest()
+	r.mu.Lock()
+	memo := r.lastPulled[target.ID]
+	var ranges []int
+	for i := 0; i < len(st.CacheDigest) && i < len(local); i++ {
+		peer := st.CacheDigest[i]
+		if peer.Count == 0 || peer.Hash == local[i].Hash {
+			continue // nothing to pull, or already converged
+		}
+		if memo != nil {
+			if h, ok := memo[i]; ok && h == peer.Hash {
+				continue // already pulled this exact divergence
+			}
+		}
+		ranges = append(ranges, i)
+	}
+	r.mu.Unlock()
+	if len(ranges) == 0 {
+		return
+	}
+	// Fault-injection site: an injected error blackholes the pull —
+	// divergence persists until the site disarms, exactly a partition.
+	if err := faultpoint.Hit("service.repair.pull"); err != nil {
+		return
+	}
+	r.s.metrics.repairPulls.Add(1)
+	pulled, truncated, err := r.pull(target, ranges)
+	if err != nil {
+		return // next tick retries; the memo was not updated
+	}
+	adopted := 0
+	for _, e := range pulled {
+		if err := r.s.adoptReplica(e, false); err != nil {
+			r.s.metrics.replicateRejected.Add(1)
+			continue
+		}
+		adopted++
+	}
+	r.s.metrics.repairedEntries.Add(int64(adopted))
+	r.s.metrics.replicatedIn.Add(int64(adopted))
+	if truncated {
+		return // more to pull; leave the memo stale so the next tick continues
+	}
+	r.mu.Lock()
+	if r.lastPulled[target.ID] == nil {
+		r.lastPulled[target.ID] = make(map[int]uint64)
+	}
+	for _, i := range ranges {
+		r.lastPulled[target.ID][i] = st.CacheDigest[i].Hash
+	}
+	r.mu.Unlock()
+}
+
+// pull fetches a peer's entries for the given ranges.
+func (r *replicator) pull(target cluster.Shard, ranges []int) ([]replicaEntry, bool, error) {
+	parts := make([]string, len(ranges))
+	for i, rg := range ranges {
+		parts[i] = strconv.Itoa(rg)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), replSendTimeout)
+	defer cancel()
+	url := target.URL + "/v1/cluster/repair?ranges=" + strings.Join(parts, ",")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := r.cs.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, &APIError{StatusCode: resp.StatusCode, Message: readMessage(resp.Body)}
+	}
+	var rp repairPayload
+	if err := json.NewDecoder(resp.Body).Decode(&rp); err != nil {
+		return nil, false, err
+	}
+	return rp.Entries, rp.Truncated, nil
+}
+
+// replicateFill hands one fresh verdict-cache fill to the write-behind
+// replicator. Called on the request path, so it must stay O(1): a
+// channel send or a dropped-counter bump, nothing else.
+func (s *Server) replicateFill(j *job, res *JobResult) {
+	cs := s.clusterView()
+	if cs == nil || cs.repl == nil {
+		return
+	}
+	cs.repl.enqueue(replTask{key: j.key(), v: newVerdict(res), sys: j.sys})
+}
+
+// adoptReplica validates one wire entry and adopts it into the local
+// verdict cache. withModel distinguishes replicate pushes (model
+// attached: check the content hash, replay the witness) from repair
+// pulls (no model: only entries validated at original fill time are
+// accepted).
+func (s *Server) adoptReplica(e replicaEntry, withModel bool) error {
+	k, err := e.entryKey()
+	if err != nil {
+		return err
+	}
+	if e.Status != sebmc.Reachable.String() && e.Status != sebmc.Unreachable.String() {
+		// Only decided answers are cacheable; UNKNOWN depends on the
+		// sender's budget and ERROR must never be replayed.
+		return fmt.Errorf("service: replica entry with undecided status %q", e.Status)
+	}
+	v := e.entryVerdict()
+	if withModel {
+		if e.Model == "" {
+			return fmt.Errorf("service: replica entry without model source")
+		}
+		sys, err := sebmc.LoadAIGER(strings.NewReader(e.Model), 0)
+		if err != nil {
+			return fmt.Errorf("service: bad replica model: %w", err)
+		}
+		if got := sebmc.ModelHash(sys); got != e.Hash {
+			return fmt.Errorf("service: replica model hash %s does not match claimed %s", got, e.Hash)
+		}
+		if e.Status == sebmc.Reachable.String() && e.Witness != "" {
+			// Replay the witness locally, exactly like a served verdict:
+			// REACHABLE claims are never taken on faith across shards.
+			// At-most-k runs (and the deepening schedules that force that
+			// semantics internally) record their traces against the
+			// self-looped transform — one extra input selecting the
+			// stutter step — so a plain-system replay is tried first and
+			// the transform second. A trace that replays on neither (the
+			// cone-of-influence reduction can also change widths) is
+			// rejected here; such entries still reach the peer through
+			// anti-entropy repair, which trusts the fill-time validation.
+			wit, err := sebmc.ParseWitness(e.Witness)
+			if err != nil {
+				return fmt.Errorf("service: bad replica witness: %w", err)
+			}
+			if err := wit.Validate(sys); err != nil {
+				if err2 := wit.Validate(sebmc.AddSelfLoop(sys)); err2 != nil {
+					return fmt.Errorf("service: replica witness does not replay: %w", err)
+				}
+			}
+			v.WitnessValidated = true
+		}
+	} else if e.Status == sebmc.Reachable.String() && e.Witness != "" && !e.WitnessValidated {
+		// Repair entries carry no model to replay against; only
+		// witnesses already validated by the shard that computed or
+		// received them are trusted.
+		return fmt.Errorf("service: repair entry carries an unvalidated witness")
+	}
+	if s.cache.has(k) {
+		return nil // idempotent: the resident entry wins
+	}
+	s.cache.put(k, v)
+	return nil
+}
+
+// handleClusterReplicate is POST /v1/cluster/replicate: a failover
+// peer pushing verdict-cache entries at this shard.
+func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	release := s.guardClusterBody(w, r)
+	defer release()
+	var p replicatePayload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad replicate payload: %w", err))
+		return
+	}
+	accepted := 0
+	for _, e := range p.Entries {
+		if err := s.adoptReplica(e, true); err != nil {
+			s.metrics.replicateRejected.Add(1)
+			continue
+		}
+		accepted++
+	}
+	s.metrics.replicatedIn.Add(int64(accepted))
+	writeJSON(w, http.StatusOK, replicateResponse{Accepted: accepted})
+}
+
+// repairEntryMax caps one repair response; a peer further behind pulls
+// again next tick (the response says so via Truncated).
+const repairEntryMax = 4096
+
+// handleClusterRepair is GET /v1/cluster/repair?ranges=0,3,15: the
+// anti-entropy pull endpoint, answering this shard's entries in the
+// requested digest ranges (no model attached — only entries whose
+// witnesses were validated at fill time leave through here).
+func (s *Server) handleClusterRepair(w http.ResponseWriter, r *http.Request) {
+	release := s.guardClusterBody(w, r)
+	defer release()
+	ranges := make(map[int]bool)
+	spec := r.URL.Query().Get("ranges")
+	if spec == "" {
+		for i := 0; i < digestRanges; i++ {
+			ranges[i] = true
+		}
+	} else {
+		for _, part := range strings.Split(spec, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 0 || n >= digestRanges {
+				s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad repair range %q", part))
+				return
+			}
+			ranges[n] = true
+		}
+	}
+	entries := s.cache.rangeEntries(ranges)
+	out := repairPayload{}
+	for _, e := range entries {
+		if len(out.Entries) >= repairEntryMax {
+			out.Truncated = true
+			break
+		}
+		out.Entries = append(out.Entries, wireEntry(e.key, e.v, ""))
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -51,6 +52,12 @@ const forwardHeader = "X-Bmcd-Forward"
 // clustered server — what lets a client (and the CI smoke test) see
 // where a request actually landed.
 const shardHeader = "X-Bmcd-Shard"
+
+// deadlineHeader carries the client's remaining budget (milliseconds)
+// on a proxied request. The receiver clamps its solving budget to it,
+// and the proxy clamps its own retry walk to it, so a slow peer can
+// never stall a request past the client's own deadline.
+const deadlineHeader = "X-Bmcd-Deadline-Ms"
 
 // ClusterConfig joins a server to a sharded deployment. Every shard
 // must be configured with the same Shards list (order does not matter,
@@ -69,6 +76,17 @@ type ClusterConfig struct {
 	Mode string
 	// GossipInterval is the peer health poll period (0 = 1s).
 	GossipInterval time.Duration
+	// DisableReplication turns off the verdict write-behind (and with
+	// it hinted handoff and anti-entropy repair) — failover degrades to
+	// local-cold, the pre-replication behavior. For A/B benchmarks.
+	DisableReplication bool
+	// ReplicaQueue bounds the write-behind replication queue (0 = 1024).
+	// A full queue drops entries (counted) instead of blocking the
+	// request path.
+	ReplicaQueue int
+	// HintLimit bounds each peer's hinted-handoff log (0 = 512). Hints
+	// beyond it drop oldest-first; anti-entropy repairs what drops.
+	HintLimit int
 }
 
 const (
@@ -87,6 +105,7 @@ type clusterState struct {
 	interval time.Duration
 	tracker  *cluster.Tracker
 	client   *http.Client // gossip, proxy and migration transport
+	repl     *replicator  // warm-failover machinery; nil when disabled
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -145,11 +164,18 @@ func (s *Server) JoinCluster(cc ClusterConfig) error {
 		client:  &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
 		stop:    make(chan struct{}),
 	}
+	if !cc.DisableReplication {
+		cs.repl = newReplicator(s, cs, cc.ReplicaQueue, cc.HintLimit)
+	}
 	if !s.cluster.CompareAndSwap(nil, cs) {
 		return fmt.Errorf("service: already joined a cluster")
 	}
 	cs.wg.Add(1)
 	go cs.gossipLoop(s)
+	if cs.repl != nil {
+		cs.wg.Add(1)
+		go cs.repl.loop()
+	}
 	return nil
 }
 
@@ -164,13 +190,25 @@ func (cs *clusterState) clusterStop() {
 // gossipLoop polls every peer's /v1/cluster/health once per interval.
 // One poll round runs concurrently across peers and is joined before
 // the next tick is considered, so a slow peer delays gossip, never
-// stacks it.
+// stacks it. The warm-failover follow-ups ride each round: hints drain
+// to peers the round just heard from, and cache-digest disagreements
+// trigger anti-entropy repair pulls — so convergence after a partition
+// heal is bounded by gossip intervals, not by traffic.
 func (cs *clusterState) gossipLoop(s *Server) {
 	defer cs.wg.Done()
 	t := time.NewTicker(cs.interval)
 	defer t.Stop()
 	for {
-		cs.pollPeers()
+		polled := cs.pollPeers()
+		if cs.repl != nil {
+			for _, p := range polled {
+				if !p.ok {
+					continue
+				}
+				cs.repl.drainHints(p.shard)
+				cs.repl.antiEntropy(p.shard, p.st)
+			}
+		}
 		select {
 		case <-cs.stop:
 			return
@@ -179,34 +217,49 @@ func (cs *clusterState) gossipLoop(s *Server) {
 	}
 }
 
-func (cs *clusterState) pollPeers() {
+// polledPeer is one peer's outcome from a poll round.
+type polledPeer struct {
+	shard cluster.Shard
+	st    cluster.Status
+	ok    bool
+}
+
+func (cs *clusterState) pollPeers() []polledPeer {
+	out := make([]polledPeer, len(cs.peers))
 	var wg sync.WaitGroup
-	for _, sh := range cs.peers {
+	for i, sh := range cs.peers {
 		wg.Add(1)
-		go func(sh cluster.Shard) {
+		go func(i int, sh cluster.Shard) {
 			defer wg.Done()
+			out[i].shard = sh
 			ctx, cancel := context.WithTimeout(context.Background(), cs.interval)
 			defer cancel()
+			// A failed poll is a strike, not a verdict: the tracker
+			// demotes only on two consecutive failures (hysteresis), so
+			// one poll lost under load does not flap the peer down and
+			// trigger a shed-and-hint storm.
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.URL+"/v1/cluster/health", nil)
 			if err != nil {
-				cs.tracker.NoteDown(sh.ID)
+				cs.tracker.NoteFailedPoll(sh.ID)
 				return
 			}
 			resp, err := cs.client.Do(req)
 			if err != nil {
-				cs.tracker.NoteDown(sh.ID)
+				cs.tracker.NoteFailedPoll(sh.ID)
 				return
 			}
 			defer drainClose(resp.Body)
 			var st cluster.Status
 			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
-				cs.tracker.NoteDown(sh.ID)
+				cs.tracker.NoteFailedPoll(sh.ID)
 				return
 			}
 			cs.tracker.Note(sh.ID, st)
-		}(sh)
+			out[i].st, out[i].ok = st, true
+		}(i, sh)
 	}
 	wg.Wait()
+	return out
 }
 
 // clusterState returns the routing state, nil when not clustered.
@@ -228,6 +281,10 @@ func (s *Server) clusterHealth() cluster.Status {
 	st.QuarantineOpen, _, _ = s.quar.stats()
 	live, _, _ := s.sessions.stats()
 	st.Sessions = live
+	// Warm-failover signals: the p99 peers size hedge delays from, and
+	// the verdict-cache digest anti-entropy compares.
+	st.P99JobMicros = s.metrics.p99JobMicros()
+	st.CacheDigest = s.cache.digest()
 	return st
 }
 
@@ -254,10 +311,15 @@ func (cs *clusterState) routeTarget(hash string, selfDraining bool) (*cluster.Sh
 	return nil, 0 // nobody healthy: serve locally, let admission answer
 }
 
+// proxyGrace is the transport slack added on top of a request's
+// solving budget when deriving its proxy deadline: the remote solver
+// gets its full budget, the hops get this much on top.
+const proxyGrace = 2 * time.Second
+
 // routeCheck handles /v1/check routing for a clustered server. Returns
 // true when the request was fully handled remotely (proxied or
 // redirected); false when the caller should serve it locally.
-func (s *Server) routeCheck(w http.ResponseWriter, r *http.Request, hash string, req CheckRequest) bool {
+func (s *Server) routeCheck(w http.ResponseWriter, r *http.Request, j *job) bool {
 	cs := s.clusterView()
 	if cs == nil {
 		return false
@@ -266,7 +328,7 @@ func (s *Server) routeCheck(w http.ResponseWriter, r *http.Request, hash string,
 		s.metrics.clusterForwardedIn.Add(1)
 		return false // a peer already routed this here; serve it
 	}
-	target, rank := cs.routeTarget(hash, s.Draining())
+	target, rank := cs.routeTarget(j.hash, s.Draining())
 	if target == nil {
 		if rank == 0 {
 			s.metrics.clusterOwnedServed.Add(1)
@@ -289,53 +351,219 @@ func (s *Server) routeCheck(w http.ResponseWriter, r *http.Request, hash string,
 	// Proxy mode: walk the preference order from the chosen target on,
 	// falling back past shards that bounce; a bounced shard is demoted
 	// in the tracker immediately so the next request skips it without
-	// waiting for a gossip tick.
-	payload, err := json.Marshal(req)
+	// waiting for a gossip tick. The walk is bounded by the request's
+	// own deadline and hedges a slow primary to the next preference
+	// (proxyHedged).
+	payload, err := json.Marshal(j.req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return true
 	}
-	prefs := cs.ring.Prefs(hash)
+	// The request's end-to-end deadline: its effective solving budget
+	// plus transport grace. An uncapped request proxies uncapped.
+	var deadline time.Time
+	if j.timeout > 0 {
+		deadline = time.Now().Add(j.timeout + proxyGrace)
+	}
+	prefs := cs.ring.Prefs(j.hash)
+	var cands []cluster.Shard
 	for i := rank; i < len(prefs); i++ {
-		sh := prefs[i]
-		if sh.ID == cs.self.ID {
-			s.metrics.clusterShedServed.Add(1)
-			return false // our turn after all
+		if prefs[i].ID == cs.self.ID {
+			break // never walk past ourselves: local serve beats a worse peer
 		}
-		if i > rank && !cs.tracker.Healthy(sh.ID) {
+		if i > rank && !cs.tracker.Healthy(prefs[i].ID) {
 			continue
 		}
-		if cs.proxy(w, r, sh, "/v1/check", payload) {
-			s.metrics.clusterProxied.Add(1)
-			return true
-		}
-		cs.tracker.NoteDown(sh.ID)
+		cands = append(cands, prefs[i])
+	}
+	if len(cands) > 0 && cs.proxyHedged(w, r, cands, "/v1/check", payload, deadline, s.metrics) {
+		s.metrics.clusterProxied.Add(1)
+		return true
 	}
 	s.metrics.clusterShedServed.Add(1)
 	return false // every peer bounced; serve locally as the last resort
 }
 
-// proxy forwards one JSON POST to a peer and streams the answer back.
-// Returns false — without having written anything — when the peer is
-// unreachable or answers 503, so the caller can fall to the next
-// preference.
-func (cs *clusterState) proxy(w http.ResponseWriter, r *http.Request, target cluster.Shard, path string, payload []byte) bool {
-	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, target.URL+path, bytes.NewReader(payload))
+// attemptOutcome is one proxy attempt's terminal state.
+type attemptOutcome struct {
+	resp *http.Response
+	err  error
+}
+
+// attempt is one in-flight proxied request.
+type attempt struct {
+	shard  cluster.Shard
+	ch     chan attemptOutcome
+	cancel context.CancelFunc
+}
+
+// startAttempt launches one proxy POST to target. The returned
+// attempt's channel delivers exactly one outcome; callers must either
+// consume it (and close any body) or abandon() the attempt.
+func (cs *clusterState) startAttempt(r *http.Request, target cluster.Shard, path string, payload []byte, deadline time.Time) *attempt {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if deadline.IsZero() {
+		ctx, cancel = context.WithCancel(r.Context())
+	} else {
+		ctx, cancel = context.WithDeadline(r.Context(), deadline)
+	}
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, target.URL+path, bytes.NewReader(payload))
 	if err != nil {
-		return false
+		cancel()
+		return nil
 	}
 	preq.Header.Set("Content-Type", "application/json")
 	preq.Header.Set(forwardHeader, cs.self.ID)
-	resp, err := cs.client.Do(preq)
-	if err != nil {
-		return false
+	if !deadline.IsZero() {
+		ms := time.Until(deadline).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		preq.Header.Set(deadlineHeader, strconv.FormatInt(ms, 10))
 	}
-	if resp.StatusCode == http.StatusServiceUnavailable {
-		// The owner cannot take it (draining, full, quarantined key):
-		// shed to the next preference instead of relaying the 503.
-		drainClose(resp.Body)
-		return false
+	a := &attempt{shard: target, ch: make(chan attemptOutcome, 1), cancel: cancel}
+	go func() {
+		resp, err := cs.client.Do(preq)
+		a.ch <- attemptOutcome{resp: resp, err: err}
+	}()
+	return a
+}
+
+// abandon cancels a losing attempt and reaps its outcome in the
+// background (the transport aborts promptly on cancel; the reaper
+// closes whatever body still arrives, keeping the connection pool
+// clean and the goroutine count settled).
+func (a *attempt) abandon() {
+	a.cancel()
+	go func() {
+		if out := <-a.ch; out.resp != nil {
+			drainClose(out.resp.Body)
+		}
+	}()
+}
+
+// hedgeDelay is how long a proxied request waits on its primary before
+// duplicating to the next preference: twice the primary's own
+// advertised p99 job wall-clock (a response slower than that is
+// evidence of trouble, not of a hard query — the peer itself said so),
+// clamped to keep pathological advertisements from hedging every
+// request or never hedging at all.
+func (cs *clusterState) hedgeDelay(id string) time.Duration {
+	st, ok := cs.tracker.Status(id)
+	if !ok || st.P99JobMicros <= 0 {
+		return 500 * time.Millisecond
 	}
+	d := 2 * time.Duration(st.P99JobMicros) * time.Microsecond
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// proxyHedged forwards one JSON POST along the candidate preference
+// list and streams the first usable answer back. A dead candidate
+// (transport error, 503 bounce) is demoted and the walk advances, as
+// before; a merely SLOW candidate is hedged: once the primary has been
+// quiet past its gossip-derived p99, the same request is duplicated to
+// the next preference and whichever answers first wins — at most two
+// requests in flight, the loser cancelled and drained. Returns false —
+// without having written anything — when every candidate bounced or
+// the deadline ran out, so the caller serves locally.
+func (cs *clusterState) proxyHedged(w http.ResponseWriter, r *http.Request, cands []cluster.Shard, path string, payload []byte, deadline time.Time, m *metrics) bool {
+	idx := 0
+	for idx < len(cands) {
+		if !deadline.IsZero() && time.Until(deadline) <= 0 {
+			return false // budget exhausted: the local clamp answers fastest
+		}
+		primary := cs.startAttempt(r, cands[idx], path, payload, deadline)
+		idx++
+		if primary == nil {
+			continue
+		}
+		var hedge *attempt
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if idx < len(cands) {
+			timer = time.NewTimer(cs.hedgeDelay(primary.shard.ID))
+			timerC = timer.C
+		}
+		for primary != nil || hedge != nil {
+			var out attemptOutcome
+			var from **attempt
+			switch {
+			case primary != nil && hedge != nil:
+				select {
+				case out = <-primary.ch:
+					from = &primary
+				case out = <-hedge.ch:
+					from = &hedge
+				}
+			case primary != nil:
+				select {
+				case out = <-primary.ch:
+					from = &primary
+				case <-timerC:
+					timerC = nil
+					if idx < len(cands) {
+						m.hedgesFired.Add(1)
+						hedge = cs.startAttempt(r, cands[idx], path, payload, deadline)
+						idx++
+					}
+					continue
+				}
+			default:
+				out = <-hedge.ch
+				from = &hedge
+			}
+			a := *from
+			if out.err == nil && out.resp.StatusCode != http.StatusServiceUnavailable {
+				if timer != nil {
+					timer.Stop()
+				}
+				if a == hedge {
+					m.hedgesWon.Add(1)
+				}
+				if other := pickOther(primary, hedge, a); other != nil {
+					other.abandon()
+				}
+				relayResponse(w, out.resp)
+				a.cancel()
+				return true
+			}
+			// Bounce: unreachable, or a 503 the next preference should
+			// absorb instead of the client.
+			if out.resp != nil {
+				drainClose(out.resp.Body)
+			}
+			cs.tracker.NoteDown(a.shard.ID)
+			a.cancel()
+			*from = nil
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+	return false
+}
+
+// pickOther returns whichever of the two attempts is live and not the
+// winner.
+func pickOther(primary, hedge, winner *attempt) *attempt {
+	if primary != nil && primary != winner {
+		return primary
+	}
+	if hedge != nil && hedge != winner {
+		return hedge
+	}
+	return nil
+}
+
+// relayResponse streams a proxied answer back to the client.
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
 	defer drainClose(resp.Body)
 	for _, h := range []string{"Content-Type", "Retry-After", shardHeader} {
 		if v := resp.Header.Get(h); v != "" {
@@ -344,7 +572,6 @@ func (cs *clusterState) proxy(w http.ResponseWriter, r *http.Request, target clu
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
-	return true
 }
 
 // proxyBatch forwards a whole batch partition to its owning shard and
@@ -560,13 +787,35 @@ func (s *Server) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.clusterHealth())
 }
 
+// clusterBodyTimeout bounds how long a cluster-internal handler will
+// wait for a peer's request body to arrive.
+const clusterBodyTimeout = 30 * time.Second
+
+// guardClusterBody caps a cluster-internal request's body size and
+// arms a read deadline on the underlying connection, so a slow or
+// oversized peer stream cannot pin a handler goroutine for the
+// server-wide write timeout. The returned release clears the deadline
+// (keep-alive connections are reused; a stale deadline would poison
+// the next request on the same connection).
+func (s *Server) guardClusterBody(w http.ResponseWriter, r *http.Request) func() {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	rc := http.NewResponseController(w)
+	if err := rc.SetReadDeadline(time.Now().Add(clusterBodyTimeout)); err != nil {
+		// The underlying writer cannot set deadlines (recorders in
+		// tests); the byte cap still holds.
+		return func() {}
+	}
+	return func() { _ = rc.SetReadDeadline(time.Time{}) }
+}
+
 func (s *Server) handleClusterMigrate(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
 		return
 	}
+	release := s.guardClusterBody(w, r)
+	defer release()
 	var p migratePayload
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad migration: %w", err))
 		return

@@ -528,6 +528,10 @@ func (s *Server) finishResult(j *job, res *JobResult) *JobResult {
 	if !res.Cached {
 		if res.decided() && res.Error == "" {
 			s.cache.put(j.key(), newVerdict(res))
+			// Write-behind replicate the fresh fill to the key's first
+			// failover shard (no-op standalone). A non-blocking enqueue:
+			// replication must never add latency to the request path.
+			s.replicateFill(j, res)
 			// Fresh computes only: a cache hit re-serves the recorded
 			// savings without skipping any new solver work.
 			s.metrics.deepenBoundsSkipped.Add(int64(res.BoundsSkipped))

@@ -92,6 +92,11 @@ type Result = bmc.Result
 // Witness is a counterexample trace.
 type Witness = bmc.Witness
 
+// ParseWitness reads a Witness.String rendering back into a Witness,
+// so a serialized trace can be replay-validated (Witness.Validate) on
+// another process — the cluster's verdict replication depends on it.
+func ParseWitness(s string) (*Witness, error) { return bmc.ParseWitness(s) }
+
 // Status is the outcome classification of a check.
 type Status = bmc.Status
 
@@ -110,6 +115,14 @@ const (
 	Exact  = bmc.Exact
 	AtMost = bmc.AtMost
 )
+
+// AddSelfLoop returns the paper's self-loop transform of the system: a
+// fresh primary input appended after the originals selects a stutter
+// step, so reachability in exactly k steps of the result equals
+// reachability in at most k steps of the original. Witnesses produced
+// under AtMost semantics — and by the deepening schedules that force it
+// internally — replay against this transform, not the plain system.
+func AddSelfLoop(sys *System) *System { return model.AddSelfLoop(sys) }
 
 // Engine selects the decision procedure.
 type Engine uint8

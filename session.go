@@ -24,15 +24,20 @@ import (
 )
 
 // ModelHash returns a content address for the system: a hex digest of
-// the circuit's AIGER serialization plus the bad-literal selection.
-// Two systems with equal hashes encode the same checking problem
-// regardless of how they were loaded or what they are named, so the
-// hash keys verdict caches and session pools.
+// the reduced circuit's AIGER serialization plus the bad-literal
+// selection. Hashing the cone-of-influence reduction makes the address
+// canonical: two systems with equal hashes encode the same checking
+// problem regardless of how they were loaded, what they are named, or
+// how many serialization round-trips they survived — LoadMSL output
+// and its own WriteAAG round-trip address the same cache entries,
+// which is what lets a cluster ship a model to a peer and have the
+// peer verify it against the sender's key.
 func ModelHash(sys *System) string {
+	red := sys.Reduce()
 	h := sha256.New()
 	// WriteAAG to a hash never fails: hash.Hash writes are infallible.
-	_ = sys.Circ.WriteAAG(h)
-	fmt.Fprintf(h, "|bad=%d", uint32(sys.Bad))
+	_ = red.Circ.WriteAAG(h)
+	fmt.Fprintf(h, "|bad=%d", uint32(red.Bad))
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
