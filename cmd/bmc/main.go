@@ -4,10 +4,11 @@
 // Usage:
 //
 //	bmc -model design.msl -k 12
-//	    [-engine sat|sat-incr|jsat|qbf-linear|qbf-squaring|portfolio]
+//	    [-engine sat|sat-incr|jsat|qbf-linear|qbf-squaring|portfolio|interp]
 //	    [-sem exact|atmost] [-schedule linear|geometric]
-//	    [-timeout 30s] [-witness] [-pg] [-jobs N]
+//	    [-timeout 30s] [-witness] [-cert] [-pg] [-jobs N]
 //	bmc -k 12 -engine portfolio -jobs 4 a.msl b.msl c.aag
+//	bmc -model design.msl -k 32 -prove -cert
 //
 // Models are loaded from .msl (Model Specification Language) or .aag
 // (ASCII AIGER, output 0 = bad) files; positional arguments after the
@@ -17,12 +18,20 @@
 // complementary engines per query — first decisive answer wins, losers
 // are cancelled — and reports which engine decided each instance.
 //
+// -prove attempts a terminal verdict: it races k-induction against the
+// interpolation engine and, on SAFE, prints (with -cert) an inductive
+// invariant certificate that any party can re-check by substitution.
+// -prove -engine interp pins the interpolation arm, whose SAFE verdicts
+// always carry the certificate; -engine interp without -prove routes a
+// bounded check through the same unbounded engine, whose answers are
+// bound-independent.
+//
 // Exit codes are uniform across the single, batch, deepen, and prove
-// paths: 0 when the property holds at the asked bound (UNREACHABLE /
-// Proved), 1 when a counterexample was found (REACHABLE / Falsified),
-// 2 on error or an inconclusive run (bad input, UNKNOWN from a timeout
-// or budget). A batch exits with its worst item: any error wins over
-// any counterexample, which wins over all-safe.
+// paths: 0 when the property holds (UNREACHABLE at the asked bound, or
+// terminal SAFE), 1 when a counterexample was found (REACHABLE), 2 on
+// error or an inconclusive run (bad input, UNKNOWN from a timeout or
+// budget). A batch exits with its worst item: any error wins over any
+// counterexample, which wins over all-safe.
 package main
 
 import (
@@ -39,14 +48,15 @@ func main() {
 	var (
 		modelPath = flag.String("model", "", "model file (.msl or .aag); more may follow as positional arguments")
 		k         = flag.Int("k", 0, "bound (number of transitions)")
-		engineStr = flag.String("engine", "sat", "engine: sat, sat-incr, jsat, qbf-linear, qbf-squaring, portfolio")
+		engineStr = flag.String("engine", "sat", "engine: sat, sat-incr, jsat, qbf-linear, qbf-squaring, portfolio, interp")
 		semStr    = flag.String("sem", "exact", "semantics: exact or atmost")
 		timeout   = flag.Duration("timeout", 0, "per-check timeout (0 = none)")
 		witness   = flag.Bool("witness", false, "print the counterexample trace when found")
 		pg        = flag.Bool("pg", false, "use the Plaisted-Greenbaum CNF transformation")
 		deepen    = flag.Bool("deepen", false, "iterate bounds 0..k and report the first counterexample")
 		schedStr  = flag.String("schedule", "linear", "deepening bound schedule: linear, or geometric (k→2k + bisection; implies -sem atmost)")
-		prove     = flag.Bool("prove", false, "attempt a full safety proof by k-induction up to depth k")
+		prove     = flag.Bool("prove", false, "attempt a terminal safety proof (k-induction raced against interpolation, depth/window capped at k)")
+		cert      = flag.Bool("cert", false, "print the verdict's certificate (invariant or witness) in its replayable text form")
 		stats     = flag.Bool("stats", false, "print solver effort statistics (conflicts, clause-DB bytes)")
 		jobs      = flag.Int("jobs", 0, "batch workers for multiple models (0 = one per CPU)")
 	)
@@ -92,18 +102,32 @@ func main() {
 
 	start := time.Now()
 	if *prove {
-		pr := sebmc.Prove(sys, *k, opts)
-		fmt.Printf("model %s: %v (k=%d) in %v\n", sys.Name, pr.Status, pr.K, time.Since(start).Round(time.Millisecond))
-		if pr.Status == sebmc.Falsified && *witness && pr.Witness != nil {
-			fmt.Print(pr.Witness)
+		// -prove alone races both arms; -prove -engine interp pins the
+		// interpolation arm, whose SAFE always carries a certificate.
+		var v sebmc.Verdict
+		if engine == sebmc.EngineInterp {
+			v = sebmc.ProveInterp(sys, *k, opts)
+		} else {
+			v = sebmc.Prove(sys, *k, opts)
 		}
-		switch pr.Status {
-		case sebmc.Proved:
-			os.Exit(0)
-		case sebmc.Falsified:
-			os.Exit(1)
+		fmt.Printf("model %s: %v (k=%d", sys.Name, v.Status, v.K)
+		if v.Terminal {
+			fmt.Print(", terminal")
 		}
-		os.Exit(2)
+		if v.DecidedBy != "" {
+			fmt.Printf(", by %s", v.DecidedBy)
+		}
+		fmt.Printf(") in %v\n", time.Since(start).Round(time.Millisecond))
+		if v.Certificate != nil && v.System != nil {
+			if err := v.Certificate.Validate(v.System); err != nil {
+				fatal(fmt.Errorf("bmc: internal error: invalid certificate: %v", err))
+			}
+			fmt.Printf("certificate (%s) validated\n", v.Certificate.Kind)
+			if *cert || (*witness && v.Certificate.Kind == sebmc.CertWitness) {
+				fmt.Print(v.Certificate)
+			}
+		}
+		os.Exit(exitCode(v.Status))
 	}
 	if *deepen {
 		d := sebmc.Deepen(sys, *k, engine, opts)
@@ -120,7 +144,7 @@ func main() {
 // counterexample, 2 error/inconclusive.
 func exitCode(st sebmc.Status) int {
 	switch st {
-	case sebmc.Unreachable:
+	case sebmc.Unreachable, sebmc.Safe:
 		return 0
 	case sebmc.Reachable:
 		return 1

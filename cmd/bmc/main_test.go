@@ -65,8 +65,11 @@ func TestExitCodes(t *testing.T) {
 		// answers UNSAT before any deadline poll; the cex model's k=5
 		// instance is satisfiable, so the expired deadline must surface.
 		{"deepen unknown (timeout)", []string{"-model", "testdata/cex.msl", "-k", "8", "-deepen", "-timeout", "1ns"}, 2, "UNKNOWN"},
-		{"prove safe", []string{"-model", "testdata/safe.msl", "-k", "20", "-prove"}, 0, "PROVED"},
-		{"prove falsified", []string{"-model", "testdata/cex.msl", "-k", "20", "-prove"}, 1, "FALSIFIED"},
+		{"prove safe", []string{"-model", "testdata/safe.msl", "-k", "20", "-prove"}, 0, "SAFE"},
+		{"prove safe terminal", []string{"-model", "testdata/safe.msl", "-k", "20", "-prove"}, 0, "terminal"},
+		{"prove falsified", []string{"-model", "testdata/cex.msl", "-k", "20", "-prove"}, 1, "REACHABLE"},
+		{"prove interp engine", []string{"-model", "testdata/safe.msl", "-k", "20", "-engine", "interp"}, 0, "SAFE"},
+		{"prove interp certificate", []string{"-model", "testdata/safe.msl", "-k", "20", "-prove", "-engine", "interp", "-cert"}, 0, "certificate (invariant) validated"},
 		{"missing file", []string{"-model", "testdata/nonexistent.msl", "-k", "5"}, 2, ""},
 		{"unparseable file", []string{"-model", "testdata/broken.msl", "-k", "5"}, 2, ""},
 		{"unsupported extension", []string{"-model", "main.go", "-k", "5"}, 2, "unsupported model format"},

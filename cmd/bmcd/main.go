@@ -37,6 +37,14 @@
 // GET /metrics, GET /healthz. See the README's "Running as a service"
 // section for a worked curl session.
 //
+// Terminal verdicts: a check with {"prove":true} or {"engine":"interp"}
+// can answer SAFE — safe at every depth, with a replayable invariant
+// certificate — which is cached under a bound-free key and replicated
+// like any verdict (receivers re-check the certificate by substitution
+// before adopting). Once a model has a terminal verdict, the "bound"
+// field of later requests is advisory: any bound answers from cache in
+// one lookup (the /metrics verdict_cache.terminal_hits counter).
+//
 // On SIGTERM or SIGINT the server drains gracefully: new submissions
 // are rejected with 503, queued and in-flight jobs run to completion,
 // then the process exits 0. A second signal aborts immediately.
@@ -69,7 +77,7 @@ func main() {
 		queue     = flag.Int("queue", 64, "bounded job-queue depth")
 		cacheMB   = flag.Int("cache-mb", 16, "verdict cache budget in MiB (0 or negative disables)")
 		sessionMB = flag.Int("session-mb", 64, "warm-session budget in MiB (0 or negative disables)")
-		engineStr = flag.String("engine", "portfolio", "default engine for requests that name none")
+		engineStr = flag.String("engine", "portfolio", "default engine for requests that name none (interp enables terminal SAFE verdicts)")
 		schedStr  = flag.String("schedule", "linear", "default deepening schedule for requests that name none: linear or geometric")
 		drainWait = flag.Duration("drain-timeout", 60*time.Second, "max time to finish in-flight jobs on shutdown")
 		maxTOMS   = flag.Int("max-timeout-ms", 0, "server-side cap on per-request solving budget in ms (0 = uncapped)")

@@ -30,15 +30,21 @@ const (
 	Unknown     Status = iota // resource budget exhausted
 	Reachable                 // a bad state is reachable at the bound
 	Unreachable               // no bad state is reachable at the bound
+	// Safe is the terminal verdict: no bad state is reachable at ANY
+	// bound. Only the unbounded engines (interpolation, k-induction)
+	// produce it; bound-relative engines stop at Unreachable.
+	Safe
 )
 
-// String returns "REACHABLE", "UNREACHABLE" or "UNKNOWN".
+// String returns "REACHABLE", "UNREACHABLE", "SAFE" or "UNKNOWN".
 func (s Status) String() string {
 	switch s {
 	case Reachable:
 		return "REACHABLE"
 	case Unreachable:
 		return "UNREACHABLE"
+	case Safe:
+		return "SAFE"
 	}
 	return "UNKNOWN"
 }

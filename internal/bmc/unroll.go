@@ -168,18 +168,5 @@ func SolveUnroll(sys *model.System, k int, opts UnrollOptions) Result {
 // readWitness assembles the trace of frames 0..k from a satisfying
 // assignment over the per-frame leaf variables.
 func readWitness(stateVars, inputVars [][]cnf.Var, k int, s *sat.Solver) *Witness {
-	w := &Witness{K: k}
-	for t := 0; t <= k; t++ {
-		states := make([]bool, len(stateVars[t]))
-		for i, v := range stateVars[t] {
-			states[i] = s.Value(v) == cnf.True
-		}
-		inputs := make([]bool, len(inputVars[t]))
-		for j, v := range inputVars[t] {
-			inputs[j] = s.Value(v) == cnf.True
-		}
-		w.States = append(w.States, states)
-		w.Inputs = append(w.Inputs, inputs)
-	}
-	return w
+	return ReadWitness(stateVars, inputVars, k, s)
 }

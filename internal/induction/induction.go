@@ -63,6 +63,9 @@ type Result struct {
 	Status  Status
 	K       int          // depth at which the proof or refutation closed
 	Witness *bmc.Witness // populated on Falsified
+	// System is the transition system the witness validates against —
+	// the self-loop transform, since base cases run at-most-k.
+	System *model.System
 }
 
 // Prove runs the k-induction loop for k = 0..maxK.
@@ -76,7 +79,7 @@ func Prove(sys *model.System, maxK int, opts Options) Result {
 		})
 		switch base.Status {
 		case bmc.Reachable:
-			return Result{Status: Falsified, K: k, Witness: base.Witness}
+			return Result{Status: Falsified, K: k, Witness: base.Witness, System: base.System}
 		case bmc.Unknown:
 			return Result{Status: Unknown, K: k}
 		}

@@ -1,0 +1,82 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/aig"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// extract computes the McMillan interpolant of a logged refutation of a
+// partitioned clause set: input nodes with ordinal < numA are the A
+// partition, the rest B. shared maps the CNF variables common to both
+// partitions (the frame-1 state variables) to AIG literals in the target
+// graph g. The result is a predicate over those literals with
+//
+//	A ⊨ itp,   itp ∧ B unsatisfiable,
+//
+// built by one pass over the proof:
+//
+//   - A input clause  → OR of its literals over B-occurring variables
+//     (all of which are shared, by the encoding's cut discipline)
+//   - B input clause  → true
+//   - resolution on pivot v → AND of the operands when v occurs in B,
+//     OR when v is local to A.
+//
+// Any structural gap — a literal over a B-occurring variable that is not
+// in the shared map, a malformed chain — returns an error; the caller
+// treats it as "refuted, but no interpolant".
+func extract(p *sat.Proof, numA int32, shared map[cnf.Var]aig.Lit, g *aig.Graph) (aig.Lit, error) {
+	if !p.Ok() {
+		return aig.False, errors.New("interp: no usable refutation")
+	}
+	// Variables occurring in the B partition, from B's input clauses.
+	occursB := make(map[cnf.Var]bool)
+	for _, n := range p.Nodes {
+		if n.Input >= numA {
+			for _, l := range n.Lits {
+				occursB[l.Var()] = true
+			}
+		}
+	}
+
+	itp := make([]aig.Lit, len(p.Nodes))
+	for i, n := range p.Nodes {
+		switch {
+		case n.Input >= numA:
+			itp[i] = aig.True
+		case n.Input >= 0:
+			cur := aig.False
+			for _, l := range n.Lits {
+				if !occursB[l.Var()] {
+					continue
+				}
+				al, ok := shared[l.Var()]
+				if !ok {
+					return aig.False, fmt.Errorf("interp: A/B cut not at the frame boundary (var %d)", l.Var())
+				}
+				if l.IsNeg() {
+					al = al.Not()
+				}
+				cur = g.Or(cur, al)
+			}
+			itp[i] = cur
+		default:
+			if len(n.Chain) == 0 {
+				return aig.False, errors.New("interp: derived node without a chain")
+			}
+			cur := itp[n.Chain[0].ID]
+			for _, a := range n.Chain[1:] {
+				if occursB[a.Pivot] {
+					cur = g.And(cur, itp[a.ID])
+				} else {
+					cur = g.Or(cur, itp[a.ID])
+				}
+			}
+			itp[i] = cur
+		}
+	}
+	return itp[p.EmptyID], nil
+}

@@ -1,0 +1,78 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/bmc"
+	"repro/internal/circuits"
+	"repro/internal/explicit"
+	"repro/internal/sat"
+)
+
+// fuzzShape folds arbitrary fuzz integers into the small-circuit
+// envelope the explicit oracle can enumerate, mirroring the clamp the
+// cross-engine differential fuzz in internal/bmc uses so the two
+// corpora cover the same instance classes.
+func fuzzShape(nIn, nLatch, nAnd int) (int, int, int) {
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return 1 + abs(nIn)%3, 2 + abs(nLatch)%4, 4 + abs(nAnd)%17
+}
+
+// FuzzInterpAgainstOracle fuzzes the interpolation engine against the
+// explicit-state oracle on random sequential circuits: Safe must mean
+// no counterexample at any depth and carry an invariant that replays
+// by substitution, Reachable witnesses must replay and never undercut
+// the oracle's shortest depth, and a bounded Unreachable must not
+// contradict a counterexample inside its proven prefix. Inconclusive
+// answers (budget, window cap) are allowed — unsoundness is not.
+// Without -fuzz the seed corpus runs as deterministic unit tests.
+func FuzzInterpAgainstOracle(f *testing.F) {
+	f.Add(int64(300), 1, 2, 5)
+	f.Add(int64(427), 2, 3, 9)
+	f.Add(int64(811), 0, 1, 16)
+	f.Add(int64(112), 1, 3, 12)
+	f.Fuzz(func(t *testing.T, seed int64, nIn, nLatch, nAnd int) {
+		nIn, nLatch, nAnd = fuzzShape(nIn, nLatch, nAnd)
+		sys := circuits.RandomAIG(seed, nIn, nLatch, nAnd, 2)
+		oracle := explicit.New(sys).ShortestCounterexample()
+
+		// A small window and a conflict budget keep each case cheap;
+		// both only ever push the engine toward Unknown, never toward a
+		// wrong answer.
+		res := Solve(sys, Options{MaxWindow: 8, SAT: sat.Options{ConflictBudget: 200_000}})
+		switch res.Status {
+		case bmc.Safe:
+			if oracle >= 0 {
+				t.Fatalf("seed %d: interp says SAFE, oracle finds a depth-%d counterexample", seed, oracle)
+			}
+			if res.Invariant == nil {
+				t.Fatalf("seed %d: SAFE without a certificate", seed)
+			}
+			if err := res.Invariant.Check(res.System, sat.Options{}); err != nil {
+				t.Fatalf("seed %d: certificate replay failed: %v", seed, err)
+			}
+		case bmc.Reachable:
+			if oracle < 0 {
+				t.Fatalf("seed %d: interp found a depth-%d counterexample, oracle says safe", seed, res.K)
+			}
+			if res.K < oracle {
+				t.Fatalf("seed %d: counterexample at depth %d, oracle says shortest is %d", seed, res.K, oracle)
+			}
+			if res.Witness == nil {
+				t.Fatalf("seed %d: Reachable without witness", seed)
+			}
+			if err := res.Witness.Validate(res.System); err != nil {
+				t.Fatalf("seed %d: witness does not replay: %v", seed, err)
+			}
+		case bmc.Unreachable:
+			if oracle >= 0 && oracle <= res.K {
+				t.Fatalf("seed %d: interp proved depth %d, oracle finds a depth-%d counterexample", seed, res.K, oracle)
+			}
+		}
+	})
+}

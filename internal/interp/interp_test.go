@@ -1,0 +1,198 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/bmc"
+	"repro/internal/cancel"
+	"repro/internal/circuits"
+	"repro/internal/explicit"
+	"repro/internal/model"
+	"repro/internal/sat"
+)
+
+// small returns whether the explicit-state oracle can handle the system.
+func small(sys *model.System) bool {
+	return sys.NumStateVars() <= 24 && sys.NumInputs() <= 16
+}
+
+// TestSolveDifferential pins the interpolation engine against the
+// explicit-state oracle on every safe circuits-zoo family and a set of
+// reachable ones: Safe must coincide with "no counterexample at any
+// depth", Reachable witnesses must replay, and no verdict may
+// contradict the oracle.
+func TestSolveDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  *model.System
+	}{
+		{"TrafficLight2", circuits.TrafficLight(2)},
+		{"TrafficLight3", circuits.TrafficLight(3)},
+		{"Arbiter2", circuits.Arbiter(2)},
+		{"Arbiter3", circuits.Arbiter(3)},
+		{"Handshake2", circuits.Handshake(2)},
+		{"Handshake3", circuits.Handshake(3)},
+		{"Counter3", circuits.Counter(3, 5)},
+		{"TokenRing4", circuits.TokenRing(4)},
+		{"GrayCounter3", circuits.GrayCounter(3, 4)},
+		{"MutexBroken2", circuits.MutexBroken(2, 1)},
+		{"FIFO2", circuits.FIFO(2)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if !small(tc.sys) {
+				t.Skipf("too large for the oracle")
+			}
+			oracle := explicit.New(tc.sys).ShortestCounterexample()
+			res := Solve(tc.sys, Options{})
+			switch res.Status {
+			case bmc.Safe:
+				if oracle >= 0 {
+					t.Fatalf("interp says SAFE, oracle finds a depth-%d counterexample", oracle)
+				}
+				if res.Invariant == nil {
+					t.Fatal("SAFE without a certificate")
+				}
+				if err := res.Invariant.Check(res.System, sat.Options{}); err != nil {
+					t.Fatalf("certificate replay failed: %v", err)
+				}
+			case bmc.Reachable:
+				if oracle < 0 {
+					t.Fatalf("interp found a counterexample at depth %d, oracle says safe", res.K)
+				}
+				if res.K < oracle {
+					t.Fatalf("counterexample at depth %d, oracle says shortest is %d", res.K, oracle)
+				}
+				if res.Witness == nil {
+					t.Fatal("Reachable without witness")
+				}
+				if err := res.Witness.Validate(res.System); err != nil {
+					t.Fatalf("witness replay failed: %v", err)
+				}
+			case bmc.Unreachable:
+				if oracle >= 0 && oracle <= res.K {
+					t.Fatalf("interp proved depth %d, oracle finds a depth-%d counterexample", res.K, oracle)
+				}
+			default:
+				t.Logf("inconclusive on %s (ok, but uninformative)", tc.name)
+			}
+			// Every safe family in the list must actually converge —
+			// the differential pin the issue asks for.
+			if oracle < 0 && res.Status != bmc.Safe {
+				t.Fatalf("oracle-safe family did not converge: %v (K=%d, window=%d, iters=%d)",
+					res.Status, res.K, res.Window, res.Iterations)
+			}
+		})
+	}
+}
+
+// TestCertificateGauntlet drives Invariant.Check through the replay
+// cases the issue demands: a valid certificate passes; tampering, a
+// wrong model, and a mixed-up certificate kind all fail closed.
+func TestCertificateGauntlet(t *testing.T) {
+	sys := circuits.TrafficLight(2)
+	res := Solve(sys, Options{})
+	if res.Status != bmc.Safe || res.Invariant == nil {
+		t.Fatalf("expected SAFE with certificate, got %v", res.Status)
+	}
+	inv := res.Invariant
+	red := res.System
+
+	t.Run("valid", func(t *testing.T) {
+		if err := inv.Check(red, sat.Options{}); err != nil {
+			t.Fatalf("valid certificate rejected: %v", err)
+		}
+	})
+
+	t.Run("round-trip", func(t *testing.T) {
+		text := inv.String()
+		if text == "" {
+			t.Fatal("empty serialization")
+		}
+		parsed, err := ParseInvariant(text)
+		if err != nil {
+			t.Fatalf("round-trip parse: %v", err)
+		}
+		if err := parsed.Check(red, sat.Options{}); err != nil {
+			t.Fatalf("round-tripped certificate rejected: %v", err)
+		}
+	})
+
+	t.Run("tampered", func(t *testing.T) {
+		// Negate the root: the complement of an invariant violates at
+		// least the init obligation on any system with reachable states.
+		g := inv.G
+		bad := &Invariant{G: snapshot(g, g.Output(0).L.Not(), g.NumInputs())}
+		if err := bad.Check(red, sat.Options{}); err == nil {
+			t.Fatal("negated certificate accepted")
+		}
+	})
+
+	t.Run("trivially-true-is-not-enough", func(t *testing.T) {
+		// inv = true contains the bad states: obligation 3 must fire.
+		g := aig.New()
+		for i := 0; i < red.NumStateVars(); i++ {
+			g.AddInput("")
+		}
+		g.AddOutput("inv", aig.True)
+		if err := (&Invariant{G: g}).Check(red, sat.Options{}); err == nil {
+			t.Fatal("inv=true accepted on a system with bad states")
+		}
+	})
+
+	t.Run("wrong-model", func(t *testing.T) {
+		other := circuits.Arbiter(2).Reduce()
+		if err := inv.Check(other, sat.Options{}); err == nil {
+			t.Fatal("certificate for TrafficLight accepted on Arbiter")
+		}
+	})
+
+	t.Run("witness-for-terminal", func(t *testing.T) {
+		// A counterexample witness is not an invariant: parsing its
+		// serialization as a certificate must fail.
+		w := &bmc.Witness{K: 0, States: [][]bool{{false, false}}, Inputs: [][]bool{{}}}
+		if _, err := ParseInvariant(w.String()); err == nil {
+			t.Fatal("witness text parsed as an invariant certificate")
+		}
+	})
+
+	t.Run("sequential-graph", func(t *testing.T) {
+		var b strings.Builder
+		if err := red.Circ.WriteAAG(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseInvariant(b.String()); err == nil {
+			t.Fatal("sequential circuit accepted as an invariant certificate")
+		}
+	})
+}
+
+// TestReachableTruncation checks that counterexamples extracted from the
+// windowed instance end exactly at their first bad frame.
+func TestReachableTruncation(t *testing.T) {
+	sys := circuits.Counter(4, 11)
+	res := Solve(sys, Options{})
+	if res.Status != bmc.Reachable {
+		t.Fatalf("got %v, want Reachable", res.Status)
+	}
+	if res.K != 11 {
+		t.Fatalf("counter hits 11 at depth 11, got %d", res.K)
+	}
+	if err := res.Witness.Validate(res.System); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+}
+
+// TestCancel returns promptly and inconclusively when canceled before
+// the first query.
+func TestCancel(t *testing.T) {
+	flag := cancel.Derived(nil)
+	flag.Set()
+	res := Solve(circuits.TrafficLight(2), Options{SAT: sat.Options{Cancel: flag}})
+	if res.Status == bmc.Safe || res.Status == bmc.Reachable {
+		t.Fatalf("canceled run decided: %v", res.Status)
+	}
+}

@@ -11,6 +11,11 @@ func (s *Solver) analyze(confl ClauseRef) ([]cnf.Lit, int, uint32) {
 	learnt := s.analyzeBuf[:0]
 	learnt = append(learnt, cnf.NoLit) // placeholder for the UIP
 
+	logging := s.proof != nil
+	if logging {
+		s.proofChain = s.proofChain[:0]
+	}
+
 	pathC := 0
 	p := cnf.NoLit
 	idx := len(s.trail) - 1
@@ -32,6 +37,22 @@ func (s *Solver) analyze(confl ClauseRef) ([]cnf.Lit, int, uint32) {
 		start := 0
 		if p != cnf.NoLit {
 			start = 1 // cl[0] is the propagated literal p itself
+		}
+		if logging {
+			// One chain entry per resolution step, plus a unit-fact
+			// resolution for every level-0 literal the loop below skips
+			// (they vanish from the learnt clause but the proof must say
+			// why).
+			pivot := cnf.NoVar
+			if p != cnf.NoLit {
+				pivot = p.Var()
+			}
+			s.proofChain = append(s.proofChain, ProofAnt{ID: s.clauseIDOf(confl, p), Pivot: pivot})
+			for _, q := range cl[start:] {
+				if s.level[q.Var()] == 0 {
+					s.proofChain = append(s.proofChain, ProofAnt{ID: s.unitIDOf(q.Neg()), Pivot: q.Var()})
+				}
+			}
 		}
 		for _, q := range cl[start:] {
 			v := q.Var()

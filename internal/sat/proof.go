@@ -1,0 +1,215 @@
+package sat
+
+import "repro/internal/cnf"
+
+// This file implements opt-in resolution-proof logging
+// (Options.LogProof): the solver records, for every clause it derives, a
+// chain-resolution derivation from earlier clauses, ending in the empty
+// clause when the instance is refuted. The interpolation engine
+// (internal/interp) replays the chains to extract a McMillan interpolant
+// from the refutation of a partitioned BMC instance.
+//
+// A logged refutation is only meaningful for the one-shot use the
+// interpolation engine makes of the solver: a fresh Solver, every clause
+// added through AddClause, one Solve call with no assumptions. Logging
+// therefore forces the features that would invalidate the chains off —
+// clause minimization (its extra resolutions are not recorded), trail
+// reuse (a retained trail would leave root facts without derivations),
+// and learnt-clause deletion (a garbage-collection pass would relocate
+// the ClauseRef keys of the id maps). Memory is accounted per node in
+// Proof.Bytes, ClauseDBBytes-style; Options.ProofBudgetBytes bounds it,
+// and an overshoot marks the proof broken (Ok reports false) rather than
+// letting an unbounded refutation eat the heap — the caller treats a
+// broken proof as "UNSAT, but no interpolant".
+
+// ProofAnt is one step of a chain-resolution derivation: resolve the
+// accumulated clause with node ID on variable Pivot. The first entry of
+// a chain is the starting clause and carries Pivot = cnf.NoVar.
+type ProofAnt struct {
+	ID    int32
+	Pivot cnf.Var
+}
+
+// ProofNode is one clause of the proof: an input clause (Input >= 0, its
+// AddClause ordinal; Chain empty) or a derived clause (Input = -1; Chain
+// is its derivation). Lits is the clause itself — empty for the final
+// empty clause.
+type ProofNode struct {
+	Lits  []cnf.Lit
+	Chain []ProofAnt
+	Input int32
+}
+
+// Proof is the resolution log of one refutation.
+type Proof struct {
+	Nodes []ProofNode
+	// EmptyID is the node index of the derived empty clause, or -1 while
+	// the instance is not (yet) refuted.
+	EmptyID int32
+
+	numInputs int32
+	bytes     int
+	budget    int
+	broken    bool
+}
+
+// Ok reports whether the proof is a complete, usable refutation: the
+// empty clause was derived and no budget overrun or bookkeeping gap
+// broke the log.
+func (p *Proof) Ok() bool { return p != nil && !p.broken && p.EmptyID >= 0 }
+
+// Bytes is the memory footprint of the recorded nodes — the same honest
+// self-accounting ClauseDBBytes gives for the clause database.
+func (p *Proof) Bytes() int {
+	if p == nil {
+		return 0
+	}
+	return p.bytes
+}
+
+// perNodeOverhead approximates a ProofNode's fixed cost: the struct
+// itself (two slice headers + ordinal) plus two backing-array headers.
+const perNodeOverhead = 64
+
+// add appends a node, copying lits and chain, and returns its id — or -1
+// after marking the proof broken when the budget is exceeded or an
+// antecedent id is missing (-1), so every later lookup stays harmless.
+func (p *Proof) add(lits []cnf.Lit, chain []ProofAnt, input int32) int32 {
+	if p.broken {
+		return -1
+	}
+	for _, a := range chain {
+		if a.ID < 0 {
+			p.markBroken()
+			return -1
+		}
+	}
+	n := ProofNode{Input: input}
+	if len(lits) > 0 {
+		n.Lits = append([]cnf.Lit(nil), lits...)
+	}
+	if len(chain) > 0 {
+		n.Chain = append([]ProofAnt(nil), chain...)
+	}
+	p.bytes += perNodeOverhead + 4*len(n.Lits) + 12*len(n.Chain)
+	if p.budget > 0 && p.bytes > p.budget {
+		p.markBroken()
+		return -1
+	}
+	p.Nodes = append(p.Nodes, n)
+	return int32(len(p.Nodes) - 1)
+}
+
+// markBroken abandons the log: the nodes are released (the refutation
+// can never be replayed) and every further registration is a no-op.
+func (p *Proof) markBroken() {
+	p.broken = true
+	p.Nodes = nil
+}
+
+// Proof returns the resolution log, or nil when Options.LogProof was not
+// set. Check Proof().Ok() before replaying it.
+func (s *Solver) Proof() *Proof { return s.proof }
+
+// ProofBytes reports the proof log's memory footprint (0 when logging is
+// off), so callers can fold it into the same peak accounting as
+// ClauseDBBytes.
+func (s *Solver) ProofBytes() int { return s.proof.Bytes() }
+
+// normPair canonicalizes a binary clause for the pair-keyed id map.
+func normPair(a, b cnf.Lit) [2]cnf.Lit {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]cnf.Lit{a, b}
+}
+
+func (s *Solver) unitIDOf(l cnf.Lit) int32 {
+	if id, ok := s.proofUnit[l]; ok {
+		return id
+	}
+	return -1
+}
+
+func (s *Solver) binIDOf(a, b cnf.Lit) int32 {
+	if id, ok := s.proofBin[normPair(a, b)]; ok {
+		return id
+	}
+	return -1
+}
+
+func (s *Solver) refIDOf(r ClauseRef) int32 {
+	if id, ok := s.proofRef[r]; ok {
+		return id
+	}
+	return -1
+}
+
+// clauseIDOf resolves the proof id of a conflict/reason reference as
+// analyze materializes it: p is the propagated literal for a reason
+// (cnf.NoLit for the conflict at the chain head).
+func (s *Solver) clauseIDOf(confl ClauseRef, p cnf.Lit) int32 {
+	switch {
+	case confl == crefBinConfl:
+		return s.binIDOf(s.binConfl[0], s.binConfl[1])
+	case isBinReason(confl):
+		return s.binIDOf(p, binOther(confl))
+	default:
+		return s.refIDOf(confl)
+	}
+}
+
+// logRootUnit records the derivation of a literal propagated at decision
+// level 0: its reason clause resolved against the unit fact of every
+// other (root-false) literal. Called from uncheckedEnqueue, after the
+// assignment, so the registered unit is available to later derivations.
+func (s *Solver) logRootUnit(l cnf.Lit, from ClauseRef) {
+	if s.proof.broken {
+		return
+	}
+	var id int32
+	var lits []cnf.Lit
+	var pair [2]cnf.Lit
+	if isBinReason(from) {
+		other := binOther(from)
+		id = s.binIDOf(l, other)
+		pair[0], pair[1] = l, other
+		lits = pair[:]
+	} else {
+		id = s.refIDOf(from)
+		lits = s.arena.lits(from)
+	}
+	chain := append(s.proofUnitChain[:0], ProofAnt{ID: id, Pivot: cnf.NoVar})
+	for _, q := range lits {
+		if q == l {
+			continue
+		}
+		chain = append(chain, ProofAnt{ID: s.unitIDOf(q.Neg()), Pivot: q.Var()})
+	}
+	s.proofUnitChain = chain
+	s.proofUnit[l] = s.proof.add([]cnf.Lit{l}, chain, -1)
+}
+
+// logRootConflict records the final empty-clause derivation when
+// propagation conflicts at decision level 0: the conflicting clause
+// resolved against the unit fact of each of its literals' negations.
+func (s *Solver) logRootConflict(confl ClauseRef) {
+	if s.proof == nil || s.proof.broken || s.proof.EmptyID >= 0 {
+		return
+	}
+	var id int32
+	var lits []cnf.Lit
+	if confl == crefBinConfl {
+		id = s.binIDOf(s.binConfl[0], s.binConfl[1])
+		lits = s.binConfl[:]
+	} else {
+		id = s.refIDOf(confl)
+		lits = s.arena.lits(confl)
+	}
+	chain := append(s.proofUnitChain[:0], ProofAnt{ID: id, Pivot: cnf.NoVar})
+	for _, q := range lits {
+		chain = append(chain, ProofAnt{ID: s.unitIDOf(q.Neg()), Pivot: q.Var()})
+	}
+	s.proofUnitChain = chain
+	s.proof.EmptyID = s.proof.add(nil, chain, -1)
+}

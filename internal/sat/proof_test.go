@@ -1,0 +1,272 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// replayProof checks a logged refutation by independent chain-resolution
+// replay: every derived node must be exactly the clause obtained by
+// resolving its chain in order, and the empty node must come out empty.
+// Returns the number of derived nodes replayed.
+func replayProof(t *testing.T, p *Proof, inputs [][]cnf.Lit) int {
+	t.Helper()
+	if !p.Ok() {
+		t.Fatalf("proof not ok (nodes=%d empty=%d)", len(p.Nodes), p.EmptyID)
+	}
+	lits := func(id int32) map[cnf.Lit]bool {
+		if id < 0 || int(id) >= len(p.Nodes) {
+			t.Fatalf("chain references bad node id %d", id)
+		}
+		set := make(map[cnf.Lit]bool, len(p.Nodes[id].Lits))
+		for _, l := range p.Nodes[id].Lits {
+			set[l] = true
+		}
+		return set
+	}
+	derived := 0
+	for i, n := range p.Nodes {
+		if n.Input >= 0 {
+			if len(n.Chain) != 0 {
+				t.Fatalf("node %d: input with a chain", i)
+			}
+			want := inputs[n.Input]
+			if len(n.Lits) != len(want) {
+				t.Fatalf("node %d: input %d has %v, AddClause got %v", i, n.Input, n.Lits, want)
+			}
+			for j, l := range want {
+				if n.Lits[j] != l {
+					t.Fatalf("node %d: input %d has %v, AddClause got %v", i, n.Input, n.Lits, want)
+				}
+			}
+			continue
+		}
+		derived++
+		if len(n.Chain) == 0 {
+			t.Fatalf("node %d: derived with empty chain", i)
+		}
+		if n.Chain[0].Pivot != cnf.NoVar {
+			t.Fatalf("node %d: chain head has pivot %d", i, n.Chain[0].Pivot)
+		}
+		if int(n.Chain[0].ID) >= i {
+			t.Fatalf("node %d: chain head %d not earlier", i, n.Chain[0].ID)
+		}
+		acc := lits(n.Chain[0].ID)
+		for _, a := range n.Chain[1:] {
+			if int(a.ID) >= i {
+				t.Fatalf("node %d: antecedent %d not earlier", i, a.ID)
+			}
+			if a.Pivot == cnf.NoVar {
+				t.Fatalf("node %d: chain tail without pivot", i)
+			}
+			pos, neg := cnf.PosLit(a.Pivot), cnf.NegLit(a.Pivot)
+			other := lits(a.ID)
+			switch {
+			case acc[pos] && other[neg]:
+				delete(acc, pos)
+				delete(other, neg)
+			case acc[neg] && other[pos]:
+				delete(acc, neg)
+				delete(other, pos)
+			default:
+				t.Fatalf("node %d: pivot %d not resolvable (acc=%v other=%v)", i, a.Pivot, acc, other)
+			}
+			for l := range other {
+				acc[l] = true
+			}
+		}
+		if len(acc) != len(n.Lits) {
+			t.Fatalf("node %d: replay got %v, recorded %v", i, acc, n.Lits)
+		}
+		for _, l := range n.Lits {
+			if !acc[l] {
+				t.Fatalf("node %d: replay got %v, recorded %v", i, acc, n.Lits)
+			}
+		}
+	}
+	if len(p.Nodes[p.EmptyID].Lits) != 0 {
+		t.Fatalf("EmptyID node is not the empty clause: %v", p.Nodes[p.EmptyID].Lits)
+	}
+	return derived
+}
+
+// solveLogged runs a fresh logging solver over the clause set and returns
+// the status plus the proof and the clauses actually added (stopping at
+// the clause that made AddClause return false).
+func solveLogged(nVars int, clauses [][]cnf.Lit) (Status, *Proof, [][]cnf.Lit) {
+	s := New(Options{LogProof: true})
+	for s.NumVars() < nVars {
+		s.NewVar()
+	}
+	added := make([][]cnf.Lit, 0, len(clauses))
+	for _, c := range clauses {
+		added = append(added, c)
+		if !s.AddClause(c...) {
+			return Unsat, s.Proof(), added
+		}
+	}
+	return s.Solve(), s.Proof(), added
+}
+
+func TestProofPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons in n holes — classically UNSAT with
+	// non-trivial resolution proofs.
+	for _, n := range []int{2, 3, 4} {
+		f := cnf.NewFormula(0)
+		v := make([][]cnf.Lit, n+1)
+		for p := 0; p <= n; p++ {
+			v[p] = make([]cnf.Lit, n)
+			for h := 0; h < n; h++ {
+				v[p][h] = cnf.PosLit(f.NewVar())
+			}
+		}
+		var clauses [][]cnf.Lit
+		for p := 0; p <= n; p++ {
+			clauses = append(clauses, append([]cnf.Lit(nil), v[p]...))
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					clauses = append(clauses, []cnf.Lit{v[p1][h].Neg(), v[p2][h].Neg()})
+				}
+			}
+		}
+		st, proof, added := solveLogged(f.NumVars(), clauses)
+		if st != Unsat {
+			t.Fatalf("PHP(%d,%d): got %v, want Unsat", n+1, n, st)
+		}
+		derived := replayProof(t, proof, added)
+		if derived == 0 {
+			t.Fatalf("PHP(%d,%d): no derived nodes", n+1, n)
+		}
+		if proof.Bytes() <= 0 {
+			t.Fatalf("PHP(%d,%d): Bytes() = %d", n+1, n, proof.Bytes())
+		}
+	}
+}
+
+func TestProofRandomUnsat(t *testing.T) {
+	// Random 3-SAT at a clause density well past the phase transition:
+	// mostly UNSAT instances; every UNSAT one must yield a replayable
+	// proof, and SAT ones must leave EmptyID unset.
+	rng := rand.New(rand.NewSource(7))
+	unsat := 0
+	for iter := 0; iter < 60; iter++ {
+		nVars := 8 + rng.Intn(10)
+		nClauses := 6 * nVars
+		clauses := make([][]cnf.Lit, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			c := make([]cnf.Lit, 0, 3)
+			for len(c) < 3 {
+				v := cnf.Var(1 + rng.Intn(nVars))
+				dup := false
+				for _, l := range c {
+					if l.Var() == v {
+						dup = true
+					}
+				}
+				if dup {
+					continue
+				}
+				l := cnf.PosLit(v)
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				c = append(c, l)
+			}
+			clauses = append(clauses, c)
+		}
+		st, proof, added := solveLogged(nVars, clauses)
+		switch st {
+		case Unsat:
+			unsat++
+			replayProof(t, proof, added)
+		case Sat:
+			if proof.Ok() {
+				t.Fatalf("iter %d: SAT instance but proof claims a refutation", iter)
+			}
+		}
+	}
+	if unsat == 0 {
+		t.Fatal("no UNSAT instances generated; densify the generator")
+	}
+}
+
+func TestProofUnitConflicts(t *testing.T) {
+	// Refutations that collapse entirely at the root level — the
+	// AddClause / propagate logging paths, with no search at all.
+	t.Run("direct-units", func(t *testing.T) {
+		st, proof, added := solveLogged(1, [][]cnf.Lit{
+			{cnf.PosLit(1)}, {cnf.NegLit(1)},
+		})
+		if st != Unsat {
+			t.Fatalf("got %v", st)
+		}
+		replayProof(t, proof, added)
+	})
+	t.Run("chain", func(t *testing.T) {
+		// 1, 1→2, 2→3, ¬3: propagation conflict at level 0.
+		st, proof, added := solveLogged(3, [][]cnf.Lit{
+			{cnf.PosLit(1)},
+			{cnf.NegLit(1), cnf.PosLit(2)},
+			{cnf.NegLit(2), cnf.PosLit(3)},
+			{cnf.NegLit(3)},
+		})
+		if st != Unsat {
+			t.Fatalf("got %v", st)
+		}
+		replayProof(t, proof, added)
+	})
+	t.Run("root-simplified", func(t *testing.T) {
+		// Clause literals dropped by root-level simplification must get
+		// unit-resolution steps in the log.
+		st, proof, added := solveLogged(3, [][]cnf.Lit{
+			{cnf.PosLit(1)},
+			{cnf.NegLit(1), cnf.PosLit(2), cnf.PosLit(3)},
+			{cnf.NegLit(1), cnf.NegLit(2)},
+			{cnf.NegLit(1), cnf.NegLit(3)},
+		})
+		if st != Unsat {
+			t.Fatalf("got %v", st)
+		}
+		replayProof(t, proof, added)
+	})
+}
+
+func TestProofBudget(t *testing.T) {
+	f := cnf.NewFormula(0)
+	n := 5
+	v := make([][]cnf.Lit, n+1)
+	for p := 0; p <= n; p++ {
+		v[p] = make([]cnf.Lit, n)
+		for h := 0; h < n; h++ {
+			v[p][h] = cnf.PosLit(f.NewVar())
+		}
+	}
+	s := New(Options{LogProof: true, ProofBudgetBytes: 256})
+	for s.NumVars() < f.NumVars() {
+		s.NewVar()
+	}
+	ok := true
+	for p := 0; p <= n && ok; p++ {
+		ok = s.AddClause(v[p]...)
+	}
+	for h := 0; h < n && ok; h++ {
+		for p1 := 0; p1 <= n && ok; p1++ {
+			for p2 := p1 + 1; p2 <= n && ok; p2++ {
+				ok = s.AddClause(v[p1][h].Neg(), v[p2][h].Neg())
+			}
+		}
+	}
+	if ok {
+		s.Solve()
+	}
+	if s.Proof().Ok() {
+		t.Fatal("256-byte budget should break the log, not produce a proof")
+	}
+	if s.Proof().Bytes() != 0 && s.Proof().Nodes != nil {
+		t.Fatal("broken proof should release its nodes")
+	}
+}

@@ -21,6 +21,12 @@ func (s *Solver) locked(c ClauseRef) bool {
 // through it. Any trail retained for prefix reuse is dropped first: a
 // deliberate database shrink is worth losing one reusable prefix.
 func (s *Solver) ReduceDB() {
+	if s.proof != nil {
+		// Deletion compacts the arena, which would invalidate every
+		// ClauseRef the proof id maps are keyed on; a logging solver is
+		// one-shot, so the database simply grows.
+		return
+	}
 	s.cancelUntil(0)
 	s.reduceDB()
 }
@@ -34,6 +40,10 @@ func (s *Solver) ReduceDB() {
 // their arena space. Root-level facts keep their assignments (they need
 // no reasons), and any retained trail is dropped.
 func (s *Solver) Simplify() {
+	if s.proof != nil {
+		// Same ClauseRef-invalidation hazard as ReduceDB.
+		return
+	}
 	s.cancelUntil(0)
 	if !s.ok {
 		return

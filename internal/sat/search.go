@@ -83,6 +83,7 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			s.Stats.Conflicts++
 			s.conflictsCur++
 			if s.decisionLevel() == 0 {
+				s.logRootConflict(confl)
 				s.ok = false
 				return Unsat
 			}
@@ -129,7 +130,10 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			}
 			continue
 		}
-		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+		// Proof logging pins every learnt clause: deletion (and the
+		// arena compaction it triggers) would orphan recorded
+		// derivations, so the reduce policy is suspended entirely.
+		if s.proof == nil && float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
 			s.reduceDB()
 		}
 
@@ -306,15 +310,31 @@ func (s *Solver) propagate() ClauseRef {
 // binary lists), so callers may reuse its backing array.
 func (s *Solver) record(learnt []cnf.Lit, lbd uint32) {
 	s.Stats.Learned++
+	// Register the proof id before any enqueue below: an enqueue at
+	// level 0 logs a root-unit derivation that must be able to look the
+	// clause up.
+	var id int32 = -1
+	if s.proof != nil {
+		id = s.proof.add(learnt, s.proofChain, -1)
+	}
 	switch len(learnt) {
 	case 1:
+		if s.proof != nil {
+			s.proofUnit[learnt[0]] = id
+		}
 		s.uncheckedEnqueue(learnt[0], crefUndef)
 		return
 	case 2:
+		if s.proof != nil {
+			s.proofBin[normPair(learnt[0], learnt[1])] = id
+		}
 		s.addBinary(learnt[0], learnt[1], true)
 		s.uncheckedEnqueue(learnt[0], binReason(learnt[1]))
 	default:
 		c := s.arena.alloc(learnt, true)
+		if s.proof != nil {
+			s.proofRef[c] = id
+		}
 		s.arena.setAct(c, float32(s.claInc))
 		s.arena.setLBD(c, lbd)
 		s.learnts = append(s.learnts, c)

@@ -92,6 +92,19 @@ type Options struct {
 	DisablePhaseSaving bool
 	// DisableMinimization turns off learnt-clause minimization.
 	DisableMinimization bool
+
+	// LogProof records a resolution derivation for every learnt clause
+	// and the final empty clause, so an Unsat answer comes with a
+	// replayable refutation (see Proof). Logging is meant for one-shot
+	// refutations — fresh solver, AddClause everything, one Solve with no
+	// assumptions — and internally forces minimization and trail reuse
+	// off and suspends learnt-clause deletion (the memory the deletion
+	// would have reclaimed is instead bounded by ProofBudgetBytes).
+	LogProof bool
+	// ProofBudgetBytes bounds the proof log's memory (see Proof.Bytes).
+	// Exceeding it marks the proof broken — Solve still answers, but the
+	// refutation cannot be replayed. 0 means unbounded.
+	ProofBudgetBytes int
 }
 
 // Stats are cumulative solver statistics.
@@ -175,6 +188,19 @@ type Solver struct {
 	assumptions []cnf.Lit
 	conflict    []cnf.Lit // failed-assumption clause after Unsat-under-assumptions
 
+	// Resolution-proof logging state (Options.LogProof; see proof.go).
+	// The id maps key every stored clause form back to its proof node:
+	// arena clauses by ClauseRef (valid because deletion is suspended, so
+	// the arena never relocates), binary clauses by canonical literal
+	// pair, and root-level unit facts by literal.
+	proof          *Proof
+	proofRef       map[ClauseRef]int32
+	proofBin       map[[2]cnf.Lit]int32
+	proofUnit      map[cnf.Lit]int32
+	proofChain     []ProofAnt // analyze's derivation scratch
+	proofUnitChain []ProofAnt // root-unit / final-conflict scratch
+	proofDropped   []cnf.Lit  // AddClause root-simplification scratch
+
 	ok           bool
 	model        cnf.Assignment
 	maxLearnts   float64
@@ -203,6 +229,16 @@ func New(opts Options) *Solver {
 	s.watches = append(s.watches, nil, nil)
 	s.binWatches = append(s.binWatches, nil, nil)
 	s.order.solver = s
+	if opts.LogProof {
+		// Minimization performs resolutions the chains would not record,
+		// and a retained trail would leave root facts underived.
+		s.opts.DisableMinimization = true
+		s.opts.DisableTrailReuse = true
+		s.proof = &Proof{EmptyID: -1, budget: opts.ProofBudgetBytes}
+		s.proofRef = make(map[ClauseRef]int32)
+		s.proofBin = make(map[[2]cnf.Lit]int32)
+		s.proofUnit = make(map[cnf.Lit]int32)
+	}
 	return s
 }
 
@@ -297,6 +333,15 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 			panic("sat: clause mentions unknown variable")
 		}
 	}
+	// Every AddClause call registers an input node under its call
+	// ordinal, even when the clause is later dropped, so a proof consumer
+	// can partition inputs by the order the clauses were loaded in.
+	inID := int32(-1)
+	if s.proof != nil {
+		inID = s.proof.add(lits, nil, s.proof.numInputs)
+		s.proof.numInputs++
+		s.proofDropped = s.proofDropped[:0]
+	}
 	for i := 1; i < len(buf); i++ {
 		x := buf[i]
 		j := i - 1
@@ -326,13 +371,30 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		case v == cnf.True && s.level[l.Var()] == 0:
 			return true
 		case v == cnf.False && s.level[l.Var()] == 0:
-			// dropped
+			if s.proof != nil {
+				s.proofDropped = append(s.proofDropped, l)
+			}
 		default:
 			out = append(out, l)
 		}
 	}
+	// The clause the solver stores is the input resolved against the unit
+	// fact of every root-false literal dropped above; register that
+	// derived form, because it is what later conflicts resolve with.
+	clsID := inID
+	if s.proof != nil && len(s.proofDropped) > 0 {
+		chain := append(s.proofUnitChain[:0], ProofAnt{ID: inID, Pivot: cnf.NoVar})
+		for _, l := range s.proofDropped {
+			chain = append(chain, ProofAnt{ID: s.unitIDOf(l.Neg()), Pivot: l.Var()})
+		}
+		s.proofUnitChain = chain
+		clsID = s.proof.add(out, chain, -1)
+	}
 	switch len(out) {
 	case 0:
+		if s.proof != nil {
+			s.proof.EmptyID = clsID
+		}
 		s.ok = false
 		return false
 	case 1:
@@ -343,11 +405,24 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		case cnf.True:
 			return true
 		case cnf.False:
+			if s.proof != nil {
+				chain := append(s.proofUnitChain[:0],
+					ProofAnt{ID: clsID, Pivot: cnf.NoVar},
+					ProofAnt{ID: s.unitIDOf(out[0].Neg()), Pivot: out[0].Var()})
+				s.proofUnitChain = chain
+				s.proof.EmptyID = s.proof.add(nil, chain, -1)
+			}
 			s.ok = false
 			return false
 		}
+		if s.proof != nil {
+			s.proofUnit[out[0]] = clsID
+		}
 		s.uncheckedEnqueue(out[0], crefUndef)
-		s.ok = s.propagate() == crefUndef
+		if confl := s.propagate(); confl != crefUndef {
+			s.logRootConflict(confl)
+			s.ok = false
+		}
 		return s.ok
 	}
 
@@ -405,6 +480,9 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		implied = out[0]
 	}
 	if len(out) == 2 {
+		if s.proof != nil {
+			s.proofBin[normPair(out[0], out[1])] = clsID
+		}
 		s.addBinary(out[0], out[1], false)
 		if implied != cnf.NoLit {
 			s.uncheckedEnqueue(implied, binReason(out[1]))
@@ -412,6 +490,9 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		return true
 	}
 	ref := s.arena.alloc(out, false)
+	if s.proof != nil {
+		s.proofRef[ref] = clsID
+	}
 	s.clauses = append(s.clauses, ref)
 	s.attach(ref)
 	if implied != cnf.NoLit {
@@ -473,6 +554,9 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from ClauseRef) {
 	s.level[v] = int32(s.decisionLevel())
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
+	if s.proof != nil && from != crefUndef && len(s.trailLim) == 0 {
+		s.logRootUnit(l, from)
+	}
 }
 
 func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }

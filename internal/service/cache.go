@@ -38,41 +38,53 @@ type verdict struct {
 	DecidedBy        string
 	Witness          string
 	WitnessValidated bool
-	Iterations       int
-	BoundsSkipped    int
-	Conflicts        int64
-	PeakBytes        int
-	Bound            int
+	// Terminal SAFE entries additionally retain the invariant
+	// certificate (validated at fill or adoption time), so a cache hit
+	// can echo the proof object without re-running anything.
+	Terminal             bool
+	Certificate          string
+	CertificateValidated bool
+	Iterations           int
+	BoundsSkipped        int
+	Conflicts            int64
+	PeakBytes            int
+	Bound                int
 }
 
 func newVerdict(res *JobResult) verdict {
 	return verdict{
-		Status:           res.Status,
-		FoundAt:          res.FoundAt,
-		DecidedBy:        res.DecidedBy,
-		Witness:          res.Witness,
-		WitnessValidated: res.WitnessValidated,
-		Iterations:       res.Iterations,
-		BoundsSkipped:    res.BoundsSkipped,
-		Conflicts:        res.Conflicts,
-		PeakBytes:        res.PeakBytes,
-		Bound:            res.Bound,
+		Status:               res.Status,
+		FoundAt:              res.FoundAt,
+		DecidedBy:            res.DecidedBy,
+		Witness:              res.Witness,
+		WitnessValidated:     res.WitnessValidated,
+		Terminal:             res.Terminal,
+		Certificate:          res.Certificate,
+		CertificateValidated: res.CertificateValidated,
+		Iterations:           res.Iterations,
+		BoundsSkipped:        res.BoundsSkipped,
+		Conflicts:            res.Conflicts,
+		PeakBytes:            res.PeakBytes,
+		Bound:                res.Bound,
 	}
 }
 
 // result materializes a JobResult from the cached verdict.
 func (v verdict) result() *JobResult {
 	return &JobResult{
-		Status:           v.Status,
-		Bound:            v.Bound,
-		FoundAt:          v.FoundAt,
-		DecidedBy:        v.DecidedBy,
-		Witness:          v.Witness,
-		WitnessValidated: v.WitnessValidated,
-		Iterations:       v.Iterations,
-		BoundsSkipped:    v.BoundsSkipped,
-		Conflicts:        v.Conflicts,
-		PeakBytes:        v.PeakBytes,
+		Status:               v.Status,
+		Bound:                v.Bound,
+		FoundAt:              v.FoundAt,
+		DecidedBy:            v.DecidedBy,
+		Witness:              v.Witness,
+		WitnessValidated:     v.WitnessValidated,
+		Terminal:             v.Terminal,
+		Certificate:          v.Certificate,
+		CertificateValidated: v.CertificateValidated,
+		Iterations:           v.Iterations,
+		BoundsSkipped:        v.BoundsSkipped,
+		Conflicts:            v.Conflicts,
+		PeakBytes:            v.PeakBytes,
 	}
 }
 
@@ -83,7 +95,8 @@ const entryOverhead = 256
 
 // bytes is the honest retained size of one entry.
 func entryBytes(k verdictKey, v verdict) int {
-	return entryOverhead + len(k.Hash) + len(v.Witness) + len(v.DecidedBy) + len(v.Status)
+	return entryOverhead + len(k.Hash) + len(v.Witness) + len(v.Certificate) +
+		len(v.DecidedBy) + len(v.Status)
 }
 
 type cacheEntry struct {

@@ -5,6 +5,14 @@ package service
 //	POST   /v1/check        submit one job; {"wait":true} blocks for the
 //	                        result and cancels the job if the client
 //	                        disconnects. 202 + job id otherwise.
+//	                        {"prove":true} (or {"engine":"interp"}) asks
+//	                        for a terminal verdict: a SAFE answer holds
+//	                        at every depth, carries a replayable
+//	                        invariant certificate ({"certificate":true}
+//	                        echoes it), and is cached bound-free — once
+//	                        a model has a terminal verdict, "bound" is
+//	                        advisory and any requested bound answers
+//	                        from cache.
 //	POST   /v1/batch        submit several models at once; synchronous.
 //	                        Cached items answer immediately, the rest
 //	                        fan over CheckMany/DeepenMany.

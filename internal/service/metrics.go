@@ -51,6 +51,10 @@ type metrics struct {
 	cacheMisses   atomic.Int64
 	sessionHits   atomic.Int64
 	sessionMisses atomic.Int64
+	// terminalHits counts cache hits answered by a model's bound-free
+	// terminal entry — requests (at any bound) short-circuited by a
+	// previously proven SAFE. A subset of cacheHits.
+	terminalHits atomic.Int64
 
 	// deepenBoundsSkipped totals the bounds deepen runs decided without
 	// their own solver invocation (geometric coverage jumps plus warm
@@ -221,9 +225,12 @@ type MetricsSnapshot struct {
 		Hits    int64   `json:"hits"`
 		Misses  int64   `json:"misses"`
 		HitRate float64 `json:"hit_rate"`
-		Entries int     `json:"entries"`
-		Bytes   int     `json:"bytes"`
-		Budget  int     `json:"budget_bytes"`
+		// TerminalHits: hits answered by a bound-free terminal (SAFE)
+		// entry, whatever bound the request asked for.
+		TerminalHits int64 `json:"terminal_hits"`
+		Entries      int   `json:"entries"`
+		Bytes        int   `json:"bytes"`
+		Budget       int   `json:"budget_bytes"`
 	} `json:"verdict_cache"`
 
 	Sessions struct {
@@ -337,6 +344,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 
 	out.Cache.Hits = m.cacheHits.Load()
 	out.Cache.Misses = m.cacheMisses.Load()
+	out.Cache.TerminalHits = m.terminalHits.Load()
 	if total := out.Cache.Hits + out.Cache.Misses; total > 0 {
 		out.Cache.HitRate = float64(out.Cache.Hits) / float64(total)
 	}

@@ -48,6 +48,13 @@ type CheckRequest struct {
 	Semantics string `json:"semantics,omitempty"`
 	// Deepen searches bounds 0..Bound for the shortest counterexample.
 	Deepen bool `json:"deepen,omitempty"`
+	// Prove asks for a terminal verdict: k-induction raced against the
+	// interpolation engine, depth/window capped at Bound. A SAFE answer
+	// holds at every depth, is cached under a bound-free key, and
+	// short-circuits any later request for the same model at any bound
+	// — Bound is advisory once a terminal verdict is cached. Mutually
+	// exclusive with Deepen; forces engine "interp".
+	Prove bool `json:"prove,omitempty"`
 	// Schedule selects the deepening bound schedule: "linear" (default)
 	// or "geometric" (k → 2k with binary-search refinement; implies
 	// at-most-k semantics for the run — the answer is the same shortest
@@ -59,6 +66,9 @@ type CheckRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// Witness includes the counterexample trace in the result.
 	Witness bool `json:"witness,omitempty"`
+	// Certificate includes the invariant certificate of a terminal SAFE
+	// verdict in the result, in its replayable text form.
+	Certificate bool `json:"certificate,omitempty"`
 	// PlaistedGreenbaum selects the polarity-aware CNF transformation.
 	PlaistedGreenbaum bool `json:"pg,omitempty"`
 	// Wait makes the submission synchronous: the response carries the
@@ -75,10 +85,14 @@ func (r CheckRequest) timeout() time.Duration {
 
 // JobResult is the outcome of one job as served over HTTP.
 type JobResult struct {
-	Status    string `json:"status"` // REACHABLE | UNREACHABLE | UNKNOWN | ERROR
+	Status    string `json:"status"` // SAFE | REACHABLE | UNREACHABLE | UNKNOWN | ERROR
 	Bound     int    `json:"bound"`
 	FoundAt   int    `json:"found_at"` // deepen: bound of the cex (-1 none)
 	DecidedBy string `json:"decided_by,omitempty"`
+	// Terminal: the verdict is bound-independent (SAFE at every depth).
+	// Terminal results are cached under a bound-free key, so any later
+	// bound for this model answers from cache.
+	Terminal bool `json:"terminal,omitempty"`
 	// Cached: served from the verdict cache, no solver ran.
 	Cached bool `json:"cached"`
 	// SessionHit: answered on a pre-existing warm session.
@@ -87,7 +101,13 @@ type JobResult struct {
 	// system step by step before being served.
 	WitnessValidated bool   `json:"witness_validated"`
 	Witness          string `json:"witness,omitempty"`
-	Iterations       int    `json:"iterations,omitempty"` // deepen: bounds tried this run
+	// CertificateValidated: the invariant certificate of a terminal
+	// verdict was replayed by substitution (three SAT obligations)
+	// before being served. Certificate is its text form, present when
+	// the request asked for it.
+	CertificateValidated bool   `json:"certificate_validated,omitempty"`
+	Certificate          string `json:"certificate,omitempty"`
+	Iterations           int    `json:"iterations,omitempty"` // deepen: bounds tried this run
 	// BoundsSkipped: bounds of the deepened range answered without their
 	// own solver invocation — by the geometric schedule's coverage jumps
 	// and/or a warm session's proven prefix.
@@ -107,9 +127,10 @@ type JobResult struct {
 // quarantine-relevant failure class).
 func (r *JobResult) errored() bool { return r.Status == StatusError }
 
-// decided reports a real verdict: REACHABLE or UNREACHABLE.
+// decided reports a real verdict: SAFE, REACHABLE or UNREACHABLE.
 func (r *JobResult) decided() bool {
-	return r.Status == sebmc.Reachable.String() || r.Status == sebmc.Unreachable.String()
+	return r.Status == sebmc.Reachable.String() || r.Status == sebmc.Unreachable.String() ||
+		r.Status == sebmc.Safe.String()
 }
 
 // job is one queue entry.
@@ -153,6 +174,16 @@ func (j *job) key() verdictKey {
 		Deepen: j.req.Deepen,
 		PG:     j.req.PlaistedGreenbaum,
 	}
+}
+
+// terminalKey is the bound-free cache identity of a terminal verdict
+// for a model: Bound -1 (no real request carries a negative bound, so
+// the sentinel can never collide with a bounded entry) and the interp
+// engine, everything else canonical zero. One entry per model hash —
+// a terminal SAFE answers every bound, semantics, schedule and CNF
+// mode, so none of them belong in the key.
+func terminalKey(hash string) verdictKey {
+	return verdictKey{Hash: hash, Bound: -1, Engine: sebmc.EngineInterp}
 }
 
 func (j *job) State() JobState {
@@ -263,6 +294,13 @@ func fromResult(r sebmc.Result, j *job, sessionHit bool) *JobResult {
 		out.FoundAt = r.K
 		noteWitness(out, r.Witness, r.System)
 	}
+	// A bounded check routed through the interp engine can come back
+	// terminal. No certificate rides a Result (the engine validated its
+	// invariant internally before answering Safe); prove requests go
+	// through fromVerdict and do carry it.
+	if r.Status == sebmc.Safe {
+		out.Terminal = true
+	}
 	return out
 }
 
@@ -298,6 +336,75 @@ func fromDeepen(d sebmc.DeepenResult, j *job, sessionHit bool) *JobResult {
 		noteWitness(out, d.Witness, d.System)
 	}
 	return out
+}
+
+// fromVerdict converts a library Verdict (the Prove race / interp
+// engine), mapping its bound-independent answers onto the request:
+// SAFE is terminal and carries the replayed invariant certificate;
+// REACHABLE carries the replayed witness; UNREACHABLE that proved less
+// than the requested bound is downgraded to UNKNOWN so a bound-keyed
+// cache entry never overclaims.
+func fromVerdict(v sebmc.Verdict, j *job) *JobResult {
+	if v.Err != nil {
+		return errorResult(j, v.Err, false)
+	}
+	out := &JobResult{
+		Status:    v.Status.String(),
+		Bound:     j.req.Bound,
+		FoundAt:   -1,
+		DecidedBy: v.DecidedBy,
+		Conflicts: v.Conflicts,
+		PeakBytes: v.PeakBytes,
+	}
+	switch v.Status {
+	case sebmc.Safe:
+		out.Terminal = true
+		noteCertificate(out, v.Certificate, v.System)
+	case sebmc.Reachable:
+		out.FoundAt = v.K
+		var w *sebmc.Witness
+		if v.Certificate != nil {
+			w = v.Certificate.Witness
+		}
+		noteWitness(out, w, v.System)
+	case sebmc.Unreachable:
+		if v.K < j.req.Bound {
+			out.Status = sebmc.Unknown.String()
+		}
+	}
+	return out
+}
+
+// noteCertificate replays a terminal verdict's invariant certificate
+// before it is served or cached, the exact analogue of noteWitness. A
+// nil certificate is allowed — the k-induction arm proves without an
+// artifact — but a certificate that fails replay withholds the verdict
+// (ERROR): a terminal claim is the strongest answer the service gives,
+// so it is never served on the prover's word alone.
+func noteCertificate(out *JobResult, c *sebmc.Certificate, sys *sebmc.System) {
+	// Fault-injection site: an injected failure is indistinguishable
+	// from a broken replayer, so the verdict is withheld, mirroring
+	// service.witness.validate.
+	if err := faultpoint.Hit("service.certificate.validate"); err != nil {
+		out.Status = StatusError
+		out.Error = fmt.Sprintf("certificate validation failed: %v", err)
+		return
+	}
+	if c == nil {
+		return
+	}
+	if sys == nil {
+		out.Status = StatusError
+		out.Error = "certificate without a system to replay against"
+		return
+	}
+	if err := c.Validate(sys); err != nil {
+		out.Status = StatusError
+		out.Error = fmt.Sprintf("certificate failed replay: %v", err)
+		return
+	}
+	out.CertificateValidated = true
+	out.Certificate = c.String()
 }
 
 func noteWitness(out *JobResult, w *sebmc.Witness, sys *sebmc.System) {

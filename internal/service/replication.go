@@ -71,11 +71,19 @@ type replicaEntry struct {
 	DecidedBy        string `json:"decided_by,omitempty"`
 	Witness          string `json:"witness,omitempty"`
 	WitnessValidated bool   `json:"witness_validated,omitempty"`
-	Iterations       int    `json:"iterations,omitempty"`
-	BoundsSkipped    int    `json:"bounds_skipped,omitempty"`
-	Conflicts        int64  `json:"conflicts,omitempty"`
-	PeakBytes        int    `json:"peak_bytes,omitempty"`
-	ResultBound      int    `json:"result_bound"`
+	// Terminal SAFE entries ship their invariant certificate; the
+	// receiver replays it by substitution before adopting, exactly as
+	// witnesses are replayed today. A terminal push without a
+	// certificate is rejected — the strongest verdict in the system is
+	// never adopted on a peer's word alone.
+	Terminal             bool   `json:"terminal,omitempty"`
+	Certificate          string `json:"certificate,omitempty"`
+	CertificateValidated bool   `json:"certificate_validated,omitempty"`
+	Iterations           int    `json:"iterations,omitempty"`
+	BoundsSkipped        int    `json:"bounds_skipped,omitempty"`
+	Conflicts            int64  `json:"conflicts,omitempty"`
+	PeakBytes            int    `json:"peak_bytes,omitempty"`
+	ResultBound          int    `json:"result_bound"`
 
 	// Model is the AAG source with the bad literal as output 0 — the
 	// same wire convention /v1/check and /v1/cluster/migrate use.
@@ -122,24 +130,27 @@ func parseSem(s string) (sebmc.Semantics, error) {
 // (repair pulls).
 func wireEntry(k verdictKey, v verdict, model string) replicaEntry {
 	return replicaEntry{
-		Hash:             k.Hash,
-		Bound:            k.Bound,
-		Engine:           k.Engine.String(),
-		Semantics:        semString(k.Sem),
-		Schedule:         k.Sched.String(),
-		Deepen:           k.Deepen,
-		PG:               k.PG,
-		Status:           v.Status,
-		FoundAt:          v.FoundAt,
-		DecidedBy:        v.DecidedBy,
-		Witness:          v.Witness,
-		WitnessValidated: v.WitnessValidated,
-		Iterations:       v.Iterations,
-		BoundsSkipped:    v.BoundsSkipped,
-		Conflicts:        v.Conflicts,
-		PeakBytes:        v.PeakBytes,
-		ResultBound:      v.Bound,
-		Model:            model,
+		Hash:                 k.Hash,
+		Bound:                k.Bound,
+		Engine:               k.Engine.String(),
+		Semantics:            semString(k.Sem),
+		Schedule:             k.Sched.String(),
+		Deepen:               k.Deepen,
+		PG:                   k.PG,
+		Status:               v.Status,
+		FoundAt:              v.FoundAt,
+		DecidedBy:            v.DecidedBy,
+		Witness:              v.Witness,
+		WitnessValidated:     v.WitnessValidated,
+		Terminal:             v.Terminal,
+		Certificate:          v.Certificate,
+		CertificateValidated: v.CertificateValidated,
+		Iterations:           v.Iterations,
+		BoundsSkipped:        v.BoundsSkipped,
+		Conflicts:            v.Conflicts,
+		PeakBytes:            v.PeakBytes,
+		ResultBound:          v.Bound,
+		Model:                model,
 	}
 }
 
@@ -173,16 +184,19 @@ func (e replicaEntry) entryKey() (verdictKey, error) {
 
 func (e replicaEntry) entryVerdict() verdict {
 	return verdict{
-		Status:           e.Status,
-		FoundAt:          e.FoundAt,
-		DecidedBy:        e.DecidedBy,
-		Witness:          e.Witness,
-		WitnessValidated: e.WitnessValidated,
-		Iterations:       e.Iterations,
-		BoundsSkipped:    e.BoundsSkipped,
-		Conflicts:        e.Conflicts,
-		PeakBytes:        e.PeakBytes,
-		Bound:            e.ResultBound,
+		Status:               e.Status,
+		FoundAt:              e.FoundAt,
+		DecidedBy:            e.DecidedBy,
+		Witness:              e.Witness,
+		WitnessValidated:     e.WitnessValidated,
+		Terminal:             e.Terminal,
+		Certificate:          e.Certificate,
+		CertificateValidated: e.CertificateValidated,
+		Iterations:           e.Iterations,
+		BoundsSkipped:        e.BoundsSkipped,
+		Conflicts:            e.Conflicts,
+		PeakBytes:            e.PeakBytes,
+		Bound:                e.ResultBound,
 	}
 }
 
@@ -520,14 +534,21 @@ func (r *replicator) pull(target cluster.Shard, ranges []int) ([]replicaEntry, b
 }
 
 // replicateFill hands one fresh verdict-cache fill to the write-behind
-// replicator. Called on the request path, so it must stay O(1): a
-// channel send or a dropped-counter bump, nothing else.
-func (s *Server) replicateFill(j *job, res *JobResult) {
+// replicator, under the same key the local cache used (bound-free for
+// terminal verdicts). Called on the request path, so it must stay O(1):
+// a channel send or a dropped-counter bump, nothing else. A terminal
+// verdict without a certificate (the k-induction arm proves without an
+// artifact) is not replicated — receivers adopt terminal claims only
+// after replaying a certificate, so the send would just bounce.
+func (s *Server) replicateFill(j *job, key verdictKey, res *JobResult) {
 	cs := s.clusterView()
 	if cs == nil || cs.repl == nil {
 		return
 	}
-	cs.repl.enqueue(replTask{key: j.key(), v: newVerdict(res), sys: j.sys})
+	if res.Terminal && res.Certificate == "" {
+		return
+	}
+	cs.repl.enqueue(replTask{key: key, v: newVerdict(res), sys: j.sys})
 }
 
 // adoptReplica validates one wire entry and adopts it into the local
@@ -540,7 +561,8 @@ func (s *Server) adoptReplica(e replicaEntry, withModel bool) error {
 	if err != nil {
 		return err
 	}
-	if e.Status != sebmc.Reachable.String() && e.Status != sebmc.Unreachable.String() {
+	if e.Status != sebmc.Reachable.String() && e.Status != sebmc.Unreachable.String() &&
+		e.Status != sebmc.Safe.String() {
 		// Only decided answers are cacheable; UNKNOWN depends on the
 		// sender's budget and ERROR must never be replayed.
 		return fmt.Errorf("service: replica entry with undecided status %q", e.Status)
@@ -556,6 +578,27 @@ func (s *Server) adoptReplica(e replicaEntry, withModel bool) error {
 		}
 		if got := sebmc.ModelHash(sys); got != e.Hash {
 			return fmt.Errorf("service: replica model hash %s does not match claimed %s", got, e.Hash)
+		}
+		if e.Status == sebmc.Safe.String() {
+			// A terminal claim short-circuits every future bound for the
+			// model, so it is held to the strictest adoption bar: the
+			// shipped invariant certificate must replay here, by
+			// substitution against this receiver's own parse of the
+			// model. No certificate, no adoption.
+			if e.Certificate == "" {
+				return fmt.Errorf("service: terminal replica entry without certificate")
+			}
+			cert, err := sebmc.ParseCertificate(e.Certificate)
+			if err != nil {
+				return fmt.Errorf("service: bad replica certificate: %w", err)
+			}
+			if cert.Kind != sebmc.CertInvariant {
+				return fmt.Errorf("service: terminal replica entry with %s certificate", cert.Kind)
+			}
+			if err := cert.Validate(sys.Reduce()); err != nil {
+				return fmt.Errorf("service: replica certificate does not replay: %w", err)
+			}
+			v.CertificateValidated = true
 		}
 		if e.Status == sebmc.Reachable.String() && e.Witness != "" {
 			// Replay the witness locally, exactly like a served verdict:
@@ -584,6 +627,11 @@ func (s *Server) adoptReplica(e replicaEntry, withModel bool) error {
 		// witnesses already validated by the shard that computed or
 		// received them are trusted.
 		return fmt.Errorf("service: repair entry carries an unvalidated witness")
+	} else if e.Status == sebmc.Safe.String() && !e.CertificateValidated {
+		// The same bar for terminal claims: without a model to replay
+		// against, only certificates already validated by the shard
+		// that computed or adopted them cross on repair.
+		return fmt.Errorf("service: repair entry carries an unvalidated terminal claim")
 	}
 	if s.cache.has(k) {
 		return nil // idempotent: the resident entry wins

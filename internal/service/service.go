@@ -341,6 +341,23 @@ func (s *Server) newJob(req CheckRequest) (*job, error) {
 		// answer, and the warm session serving it is an at-most session.
 		sem = sebmc.AtMost
 	}
+	if req.Prove {
+		if req.Deepen {
+			return nil, fmt.Errorf("service: prove and deepen are mutually exclusive")
+		}
+		engine = sebmc.EngineInterp
+	}
+	if engine == sebmc.EngineInterp {
+		// The interpolation engine's answers are bound-independent or
+		// carry their own depth — at-most-k by nature — and it deepens
+		// itself, so the same forcing pattern as geometric keeps the
+		// cache identity honest.
+		if req.Deepen {
+			return nil, fmt.Errorf("service: engine interp deepens itself; use prove or a plain check")
+		}
+		sem = sebmc.AtMost
+		sched = sebmc.ScheduleLinear
+	}
 	if req.Bound < 0 {
 		return nil, fmt.Errorf("service: negative bound %d", req.Bound)
 	}
@@ -486,6 +503,9 @@ func (s *Server) finishContained(j *job, f func() *JobResult) (res *JobResult) {
 // answer produces the job's raw result, consulting the verdict cache
 // first; finishResult applies the common post-processing.
 func (s *Server) answer(j *job) *JobResult {
+	if res := s.terminalHit(j); res != nil {
+		return res
+	}
 	if v, ok := s.cache.get(j.key()); ok {
 		s.metrics.cacheHits.Add(1)
 		res := v.result()
@@ -509,6 +529,24 @@ func (s *Server) answer(j *job) *JobResult {
 	return s.solve(j)
 }
 
+// terminalHit answers a job from the model's bound-free terminal cache
+// entry, if one exists. Checked before the bound-keyed lookup on every
+// path: a terminal SAFE holds at any depth under either semantics, so
+// the requested bound, engine and schedule are all advisory — the
+// answer is an O(lookup) cache hit whatever was asked.
+func (s *Server) terminalHit(j *job) *JobResult {
+	v, ok := s.cache.get(terminalKey(j.hash))
+	if !ok {
+		return nil
+	}
+	s.metrics.cacheHits.Add(1)
+	s.metrics.terminalHits.Add(1)
+	res := v.result()
+	res.Bound = j.req.Bound // the entry is bound-free; answer what was asked
+	res.Cached = true
+	return res
+}
+
 // finishResult is the single post-processing path every answered job —
 // single or batch item, computed or cached — goes through: count
 // internal errors and recovered panics, fill the verdict cache (clean
@@ -527,11 +565,18 @@ func (s *Server) finishResult(j *job, res *JobResult) *JobResult {
 	}
 	if !res.Cached {
 		if res.decided() && res.Error == "" {
-			s.cache.put(j.key(), newVerdict(res))
+			// Terminal verdicts fill the model's bound-free entry, so
+			// any later bound short-circuits; everything else stays
+			// keyed by exactly what was asked.
+			key := j.key()
+			if res.Terminal {
+				key = terminalKey(j.hash)
+			}
+			s.cache.put(key, newVerdict(res))
 			// Write-behind replicate the fresh fill to the key's first
 			// failover shard (no-op standalone). A non-blocking enqueue:
 			// replication must never add latency to the request path.
-			s.replicateFill(j, res)
+			s.replicateFill(j, key, res)
 			// Fresh computes only: a cache hit re-serves the recorded
 			// savings without skipping any new solver work.
 			s.metrics.deepenBoundsSkipped.Add(int64(res.BoundsSkipped))
@@ -547,6 +592,9 @@ func (s *Server) finishResult(j *job, res *JobResult) *JobResult {
 	if !j.req.Witness {
 		res.Witness = ""
 	}
+	if !j.req.Certificate {
+		res.Certificate = ""
+	}
 	return res
 }
 
@@ -557,6 +605,20 @@ func (s *Server) solve(j *job) *JobResult {
 		Semantics:         j.sem,
 		Schedule:          j.sched,
 		PlaistedGreenbaum: j.req.PlaistedGreenbaum,
+	}
+	// Prove requests and the interp engine both go through the library's
+	// unbounded proving paths, which can return the terminal SAFE no
+	// bounded run ever produces. prove races k-induction against
+	// interpolation (fastest terminal answer; the induction arm proves
+	// without a certificate); engine=interp runs interpolation alone, so
+	// its SAFE always ships the invariant certificate. No session pool:
+	// the proof loops build their own incremental state per run.
+	if j.req.Prove || j.engine == sebmc.EngineInterp {
+		opts.Cancel = j.cancel
+		if j.req.Prove {
+			return fromVerdict(sebmc.Prove(j.sys, j.req.Bound, opts), j)
+		}
+		return fromVerdict(sebmc.ProveInterp(j.sys, j.req.Bound, opts), j)
 	}
 	if sess, hit := s.sessions.acquire(j, opts); sess != nil {
 		// A session that recovered a panic is poisoned: its solver state
@@ -604,6 +666,10 @@ func (s *Server) runBatch(items []*job) []*JobResult {
 			s.metrics.quarantineRejected.Add(1)
 			out[i] = &JobResult{Status: StatusError, Bound: j.req.Bound, FoundAt: -1, Error: err.Error()}
 			s.metrics.completed.Add(1)
+			continue
+		}
+		if res := s.terminalHit(j); res != nil {
+			out[i] = s.finishResult(j, res)
 			continue
 		}
 		if v, ok := s.cache.get(j.key()); ok {

@@ -75,6 +75,7 @@ import (
 	"repro/internal/bmc"
 	"repro/internal/explicit"
 	"repro/internal/induction"
+	"repro/internal/interp"
 	"repro/internal/jsat"
 	"repro/internal/model"
 	"repro/internal/msl"
@@ -105,6 +106,11 @@ const (
 	Unknown     = bmc.Unknown
 	Reachable   = bmc.Reachable
 	Unreachable = bmc.Unreachable
+	// Safe is the terminal outcome: no bad state is reachable at ANY
+	// bound, not just the one asked about. Only the unbounded engines
+	// (EngineInterp, k-induction via Prove) produce it; it always
+	// implies Unreachable at every k under both semantics.
+	Safe = bmc.Safe
 )
 
 // Semantics selects exactly-k or at-most-k reachability.
@@ -127,7 +133,7 @@ func AddSelfLoop(sys *System) *System { return model.AddSelfLoop(sys) }
 // Engine selects the decision procedure.
 type Engine uint8
 
-// The five single engines, plus the concurrent portfolio.
+// The single engines, plus the concurrent portfolio.
 const (
 	EngineSAT Engine = iota
 	EngineJSAT
@@ -135,6 +141,11 @@ const (
 	EngineQBFSquaring
 	EngineSATIncr
 	EnginePortfolio
+	// EngineInterp is the unbounded interpolation engine: it ignores
+	// the exact/at-most distinction (its answers are bound-independent
+	// or carry their own depth) and can return the terminal Safe. Check
+	// maps its result onto the requested bound; Prove uses it directly.
+	EngineInterp
 )
 
 // String names the engine.
@@ -152,12 +163,14 @@ func (e Engine) String() string {
 		return "sat-incr"
 	case EnginePortfolio:
 		return "portfolio"
+	case EngineInterp:
+		return "interp"
 	}
 	return "unknown"
 }
 
 // ParseEngine converts a name ("sat", "sat-incr", "jsat", "qbf-linear",
-// "qbf-squaring", "portfolio") to an Engine.
+// "qbf-squaring", "portfolio", "interp") to an Engine.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "sat":
@@ -172,6 +185,8 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineQBFSquaring, nil
 	case "portfolio":
 		return EnginePortfolio, nil
+	case "interp":
+		return EngineInterp, nil
 	}
 	return 0, fmt.Errorf("sebmc: unknown engine %q", s)
 }
@@ -343,8 +358,49 @@ func checkSingle(sys *System, k int, engine Engine, opts Options) Result {
 			return Result{Status: bmc.Unknown, K: k}
 		}
 		return r
+	case EngineInterp:
+		return checkInterp(sys, k, opts)
 	}
 	return Result{Status: bmc.Unknown, K: k}
+}
+
+// checkInterp answers a bounded query with the unbounded interpolation
+// engine, mapping its bound-independent verdicts onto the requested k.
+// The engine works with at-most-k meaning throughout (a counterexample
+// at depth d answers every bound ≥ d, a refutation of depths ≤ d every
+// bound ≤ d); Options.Semantics is ignored — see the Engine doc.
+func checkInterp(sys *System, k int, opts Options) Result {
+	maxW := k
+	if maxW < 64 {
+		maxW = 64
+	}
+	ir := interp.Solve(sys, interp.Options{
+		Mode:      opts.mode(),
+		SAT:       sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline(), Cancel: opts.Cancel},
+		MaxWindow: maxW,
+	})
+	res := Result{
+		Status:    bmc.Unknown,
+		K:         k,
+		System:    ir.System,
+		Conflicts: ir.Conflicts,
+		PeakBytes: ir.PeakBytes,
+	}
+	switch ir.Status {
+	case bmc.Safe:
+		res.Status = bmc.Safe
+	case bmc.Reachable:
+		if ir.K <= k {
+			res.Status = bmc.Reachable
+			res.K = ir.K
+			res.Witness = ir.Witness
+		}
+	case bmc.Unreachable:
+		if ir.K >= k {
+			res.Status = bmc.Unreachable
+		}
+	}
+	return res
 }
 
 // DeepenResult reports an iterative-deepening run.
@@ -400,24 +456,30 @@ func deepenSingle(sys *System, maxBound int, engine Engine, opts Options) Deepen
 	return bmc.DeepenLinear(sys, maxBound, check)
 }
 
-// ProveResult reports an unbounded k-induction proof attempt.
+// ProveResult is the legacy k-induction result shape.
+//
+// Deprecated: Prove now returns the unified Verdict. ProveKInduction
+// keeps the old contract for callers that want the raw induction arm.
 type ProveResult = induction.Result
 
-// Unbounded proof outcomes.
+// Unbounded proof outcomes of the legacy k-induction surface.
+//
+// / Deprecated: compare Verdict.Status against Safe / Reachable instead.
 const (
 	Proved    = induction.Proved
 	Falsified = induction.Falsified
-	// ProofUnknown is the inconclusive outcome of Prove (distinct from
-	// the bounded-check Unknown, which is a different type).
+	// ProofUnknown is the inconclusive outcome of ProveKInduction
+	// (distinct from the bounded-check Unknown, a different type).
 	ProofUnknown = induction.Unknown
 )
 
-// Prove attempts a full (unbounded) safety proof by k-induction with the
-// simple-path constraint, deepening k up to maxK. Falsified results carry
-// a validated counterexample; Proved means the bad state is unreachable
-// at every depth. This is the bound-sufficiency technique the paper's
-// introduction positions BMC against.
-func Prove(sys *System, maxK int, opts Options) ProveResult {
+// ProveKInduction attempts a full safety proof by k-induction with the
+// simple-path constraint, deepening k up to maxK — the bound-sufficiency
+// technique the paper's introduction positions BMC against.
+//
+// / Deprecated: use Prove, which races k-induction against interpolation
+// and returns a Verdict with a replayable certificate.
+func ProveKInduction(sys *System, maxK int, opts Options) ProveResult {
 	return induction.Prove(sys, maxK, induction.Options{
 		Mode: opts.mode(),
 		SAT:  sat.Options{ConflictBudget: opts.ConflictBudget, Deadline: opts.deadline(), Cancel: opts.Cancel},

@@ -227,7 +227,7 @@ func TestFacadeAIGERRoundtrip(t *testing.T) {
 }
 
 func TestParseEngine(t *testing.T) {
-	for _, name := range []string{"sat", "sat-incr", "jsat", "qbf-linear", "qbf-squaring"} {
+	for _, name := range []string{"sat", "sat-incr", "jsat", "qbf-linear", "qbf-squaring", "interp"} {
 		e, err := sebmc.ParseEngine(name)
 		if err != nil || e.String() != name {
 			t.Errorf("ParseEngine(%q) = %v, %v", name, e, err)
@@ -244,17 +244,29 @@ func TestFacadeProve(t *testing.T) {
 		t.Fatal(err)
 	}
 	pr := sebmc.Prove(safe, 10, sebmc.Options{})
-	if pr.Status != sebmc.Proved {
+	if pr.Status != sebmc.Safe || !pr.Terminal {
 		t.Fatalf("safe saturating counter not proved: %+v", pr)
+	}
+	if err := pr.Certificate.Validate(pr.System); err != nil {
+		t.Fatalf("certificate replay: %v", err)
 	}
 
 	buggy, _ := sebmc.LoadMSL(counterMSL)
 	pr = sebmc.Prove(buggy, 16, sebmc.Options{})
-	if pr.Status != sebmc.Falsified || pr.K != 9 {
-		t.Fatalf("bug not found by induction loop: %+v", pr)
+	if pr.Status != sebmc.Reachable {
+		t.Fatalf("bug not found by prove race: %+v", pr)
 	}
-	if pr.Witness == nil {
-		t.Fatalf("falsification must carry a witness")
+	if pr.Terminal {
+		t.Fatalf("Reachable must not be terminal")
+	}
+	if pr.Certificate == nil || pr.Certificate.Kind != sebmc.CertWitness || pr.Certificate.Witness == nil {
+		t.Fatalf("falsification must carry a witness certificate, got %+v", pr.Certificate)
+	}
+	if pr.Certificate.Witness.K < 9 {
+		t.Fatalf("shortest counterexample is at depth 9, got %d", pr.Certificate.Witness.K)
+	}
+	if err := pr.Certificate.Validate(pr.System); err != nil {
+		t.Fatalf("witness replay: %v", err)
 	}
 }
 
